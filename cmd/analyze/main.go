@@ -1,0 +1,146 @@
+// Command analyze generates a synthetic EBS fleet and runs the paper's
+// analyses over it, printing paper-style tables. Select experiments with
+// -run (comma-separated ids from DESIGN.md: t2,t3,t4,f2,f3,f4,f5,f6,f7) or
+// run everything with -run all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ebslab/internal/core"
+	"ebslab/internal/guestcache"
+	"ebslab/internal/workload"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "fleet generation seed")
+		scale = flag.String("scale", "medium", "fleet scale: small | medium | large")
+		dur   = flag.Int("dur", 0, "observation window seconds (0 = scale default)")
+		run   = flag.String("run", "all", "experiments to run (comma list: t2,t3,t4,f2,f3,f4,f5,f6,f7,ab)")
+		quiet = flag.Bool("q", false, "suppress progress timing")
+	)
+	flag.Parse()
+
+	cfg, err := configForScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+	if *dur > 0 {
+		cfg.DurationSec = *dur
+	}
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "generate fleet:", err)
+		os.Exit(1)
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	all := want["all"]
+	sel := func(id string) bool { return all || want[id] }
+
+	type step struct {
+		id string
+		fn func() string
+	}
+	steps := []step{
+		{"t2", func() string { return study.Table2Summary().Render() }},
+		{"t3", func() string { return study.Table3Baseline().Render() }},
+		{"t4", func() string { return study.Table4ByApp().Render() }},
+		{"f2", func() string {
+			var b strings.Builder
+			b.WriteString(study.Fig2aWTCoV(nil).Render())
+			b.WriteString(study.Fig2bThreeTier().Render())
+			b.WriteString(study.Fig2cHottestQP().Render())
+			b.WriteString(study.Fig2dRebinding(0, 0).Render())
+			b.WriteString(study.Fig2efBurstSeries(0, 0).Render())
+			return b.String()
+		}},
+		{"f3", func() string {
+			var b strings.Builder
+			b.WriteString(study.Fig3aSingleVDCase().Render())
+			b.WriteString(study.Fig3bRAR(false).Render())
+			b.WriteString(study.Fig3bRAR(true).Render())
+			b.WriteString(study.Fig3deReduction(false, nil).Render())
+			b.WriteString(study.Fig3fgLendingGain(false, nil, 0).Render())
+			b.WriteString(study.Fig3fgLendingGain(true, nil, 0).Render())
+			return b.String()
+		}},
+		{"f4", func() string {
+			var b strings.Builder
+			b.WriteString(study.Fig4aFrequentMigration(0, nil).Render())
+			b.WriteString(study.Fig4bImporterSelection(0).Render())
+			b.WriteString(study.Fig4cPredictionMSE(0, 0).Render())
+			return b.String()
+		}},
+		{"f5", func() string {
+			var b strings.Builder
+			b.WriteString(study.Fig5aReadWriteCoV(0).Render())
+			b.WriteString(study.Fig5bSegmentDominance(0).Render())
+			b.WriteString(study.Fig5cWriteThenRead(0).Render())
+			return b.String()
+		}},
+		{"f6", func() string { return study.Fig6HottestBlocks(0, 0).Render() }},
+		{"f7", func() string {
+			var b strings.Builder
+			b.WriteString(study.Fig7aHitRatio(0, 0).Render())
+			b.WriteString(study.Fig7bcLatencyGain(0, 0, 0).Render())
+			b.WriteString(study.Fig7dSpaceUtilization(0).Render())
+			return b.String()
+		}},
+		{"ab", func() string {
+			var b strings.Builder
+			b.WriteString(study.AblateHosting(0, 0).Render())
+			b.WriteString(study.AblateCachePolicy(0, 0, 0).Render())
+			b.WriteString(study.AblateCacheDeployment(0, 0, 0, 0).Render())
+			b.WriteString(study.AblatePredictors(0).Render())
+			b.WriteString(study.AblateFailover(0).Render())
+			b.WriteString(study.StudyPageCache(0, 0, 0, guestcache.Config{}).Render())
+			return b.String()
+		}},
+	}
+	for _, st := range steps {
+		if !sel(st.id) {
+			continue
+		}
+		start := time.Now()
+		out := st.fn()
+		fmt.Print(out)
+		if !*quiet {
+			fmt.Printf("  [%s in %v]\n\n", st.id, time.Since(start).Round(time.Millisecond))
+		} else {
+			fmt.Println()
+		}
+	}
+}
+
+// configForScale returns fleet configurations at three sizes.
+func configForScale(scale string) (workload.Config, error) {
+	cfg := workload.DefaultConfig()
+	switch scale {
+	case "large":
+		cfg.NodesPerDC = 240
+		cfg.BSPerDC = 36
+		cfg.Users = 300
+		cfg.DurationSec = 1800
+	case "medium":
+		// DefaultConfig is the medium scale.
+	case "small":
+		cfg.NodesPerDC = 40
+		cfg.BSPerDC = 12
+		cfg.Users = 60
+		cfg.DurationSec = 300
+	default:
+		return cfg, fmt.Errorf("unknown scale %q (want small|medium|large)", scale)
+	}
+	return cfg, nil
+}

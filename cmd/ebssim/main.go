@@ -1,0 +1,117 @@
+// Command ebssim runs the end-to-end EBS stack simulation and reports
+// stack-level statistics: per-stage latency percentiles, worker-thread
+// balance, throttle pressure, and storage-node traffic spread.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ebslab/internal/cluster"
+	"ebslab/internal/ebs"
+	"ebslab/internal/stats"
+	"ebslab/internal/trace"
+	"ebslab/internal/workload"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 1, "fleet generation seed")
+		dur    = flag.Int("dur", 60, "observation window seconds")
+		nodes  = flag.Int("nodes", 16, "compute nodes per DC")
+		maxVDs = flag.Int("max-vds", 120, "virtual disks to simulate (0 = all)")
+	)
+	flag.Parse()
+
+	cfg := workload.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.DCs = 1
+	cfg.NodesPerDC = *nodes
+	cfg.BSPerDC = 12
+	cfg.BSPerCluster = 6
+	cfg.Users = 16
+	cfg.DurationSec = *dur
+
+	fleet, err := workload.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ebssim:", err)
+		os.Exit(1)
+	}
+	ds, err := ebs.New(fleet).Run(ebs.Options{
+		DurationSec:      *dur,
+		TraceSampleEvery: 1,
+		EventSampleEvery: 8,
+		MaxVDs:           *maxVDs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ebssim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("simulated %d IOs over %ds (%d VDs)\n\n", len(ds.Trace), *dur, *maxVDs)
+
+	// Per-stage latency percentiles.
+	fmt.Println("latency by stage (us):")
+	fmt.Printf("  %-14s %8s %8s %8s\n", "stage", "p50", "p99", "mean")
+	for st := trace.Stage(0); st < trace.NumStages; st++ {
+		var xs []float64
+		for i := range ds.Trace {
+			xs = append(xs, float64(ds.Trace[i].Latency[st]))
+		}
+		fmt.Printf("  %-14s %8.0f %8.0f %8.0f\n", st,
+			stats.Quantile(xs, 0.5), stats.Quantile(xs, 0.99), stats.Mean(xs))
+	}
+	var e2e []float64
+	for i := range ds.Trace {
+		e2e = append(e2e, ds.Trace[i].TotalLatency())
+	}
+	fmt.Printf("  %-14s %8.0f %8.0f %8.0f\n\n", "end-to-end",
+		stats.Quantile(e2e, 0.5), stats.Quantile(e2e, 0.99), stats.Mean(e2e))
+
+	// Worker-thread balance per node (top 5 busiest nodes).
+	type nodeLoad struct {
+		node cluster.NodeID
+		wt   map[int8]float64
+		tot  float64
+	}
+	loads := map[cluster.NodeID]*nodeLoad{}
+	for i := range ds.Trace {
+		r := &ds.Trace[i]
+		nl := loads[r.Node]
+		if nl == nil {
+			nl = &nodeLoad{node: r.Node, wt: map[int8]float64{}}
+			loads[r.Node] = nl
+		}
+		nl.wt[r.WT] += float64(r.Size)
+		nl.tot += float64(r.Size)
+	}
+	var ranked []*nodeLoad
+	for _, nl := range loads {
+		ranked = append(ranked, nl)
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].tot > ranked[j].tot })
+	fmt.Println("worker-thread balance (busiest nodes):")
+	for i, nl := range ranked {
+		if i >= 5 {
+			break
+		}
+		var xs []float64
+		for wt := 0; wt < fleet.Topology.Nodes[nl.node].WorkerNum; wt++ {
+			xs = append(xs, nl.wt[int8(wt)])
+		}
+		fmt.Printf("  node %3d: %6.1f MiB total, WT-CoV %.2f\n",
+			nl.node, nl.tot/(1<<20), stats.NormCoV(xs))
+	}
+
+	// Storage-node spread.
+	perSN := map[cluster.StorageNodeID]float64{}
+	for i := range ds.Trace {
+		perSN[ds.Trace[i].Storage] += float64(ds.Trace[i].Size)
+	}
+	var snLoads []float64
+	for _, v := range perSN {
+		snLoads = append(snLoads, v)
+	}
+	fmt.Printf("\nstorage nodes touched: %d, inter-BS CoV %.2f\n", len(snLoads), stats.NormCoV(snLoads))
+}

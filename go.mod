@@ -1,0 +1,3 @@
+module ebslab
+
+go 1.22

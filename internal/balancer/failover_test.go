@@ -1,0 +1,85 @@
+package balancer
+
+import (
+	"math/rand"
+	"testing"
+
+	"ebslab/internal/cluster"
+)
+
+// failoverScenario: 4 BSs; BS 0 hosts 6 segments of mixed heat, others
+// balanced.
+func failoverScenario() (*cluster.SegmentMap, [][]RW) {
+	m := cluster.NewSegmentMap(18, 4)
+	traffic := make([][]RW, 18)
+	for seg := 0; seg < 18; seg++ {
+		bs := 0
+		if seg >= 6 {
+			bs = 1 + (seg-6)%3
+		}
+		m.Assign(cluster.SegmentID(seg), cluster.StorageNodeID(bs))
+		w := 10.0
+		if seg == 0 {
+			w = 60 // one hot orphan
+		}
+		traffic[seg] = []RW{{W: w, R: 5}}
+	}
+	return m, traffic
+}
+
+func TestFailoverMovesEverything(t *testing.T) {
+	m, traffic := failoverScenario()
+	rng := rand.New(rand.NewSource(1))
+	res := Failover(m, traffic, 0, 0, FailoverGreedy, rng)
+	if res.Moved != 6 {
+		t.Fatalf("moved %d, want 6", res.Moved)
+	}
+	if got := m.SegmentsOn(0); len(got) != 0 {
+		t.Fatalf("failed BS still hosts %v", got)
+	}
+	for seg := 0; seg < 18; seg++ {
+		if m.BSOf(cluster.SegmentID(seg)) == 0 {
+			t.Fatal("segment left on failed BS")
+		}
+	}
+}
+
+func TestGreedyBeatsRandomFailover(t *testing.T) {
+	// Average the random policy over seeds; greedy should produce a lower
+	// or equal survivor max-overload.
+	mG, traffic := failoverScenario()
+	rng := rand.New(rand.NewSource(1))
+	greedy := Failover(mG, traffic, 0, 0, FailoverGreedy, rng)
+
+	var worstRandom float64
+	for seed := int64(0); seed < 10; seed++ {
+		mR, _ := failoverScenario()
+		r := Failover(mR, traffic, 0, 0, FailoverRandom, rand.New(rand.NewSource(seed)))
+		if r.MaxOverload > worstRandom {
+			worstRandom = r.MaxOverload
+		}
+	}
+	if !(greedy.MaxOverload <= worstRandom+1e-9) {
+		t.Fatalf("greedy overload %v above worst random %v", greedy.MaxOverload, worstRandom)
+	}
+	if greedy.MaxOverload > 1.5 {
+		t.Fatalf("greedy overload %v too high for this scenario", greedy.MaxOverload)
+	}
+}
+
+func TestFailoverSingleSurvivorDegenerate(t *testing.T) {
+	m := cluster.NewSegmentMap(2, 2)
+	m.Assign(0, 0)
+	m.Assign(1, 1)
+	traffic := [][]RW{{{W: 5}}, {{W: 5}}}
+	res := Failover(m, traffic, 0, 0, FailoverGreedy, rand.New(rand.NewSource(1)))
+	if res.Moved != 1 || m.BSOf(0) != 1 {
+		t.Fatalf("failover to single survivor broken: %+v", res)
+	}
+}
+
+func TestFailoverPolicyString(t *testing.T) {
+	if FailoverGreedy.String() == "" || FailoverRandom.String() == "" {
+		t.Fatal("empty policy strings")
+	}
+}

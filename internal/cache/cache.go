@@ -1,0 +1,195 @@
+// Package cache implements the caching study of §7: page-granular FIFO and
+// LRU caches, the FrozenHot-style "frozen cache" that pins the hottest LBA
+// range without eviction, the hottest-block analyzer behind Figure 6, and a
+// trace-driven hit-ratio simulator matching the Figure 7(a) protocol (4 KiB
+// pages, cache sized to the block under study).
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// PageSize is the cache page granularity (4 KiB, §7.3.1).
+const PageSize int64 = 4 << 10
+
+// Access is one block IO as the cache sees it.
+type Access struct {
+	TimeUS int64
+	Offset int64
+	Size   int32
+	Write  bool
+}
+
+// Cache is a page-granular cache over one VD's logical address space.
+type Cache interface {
+	// Name identifies the policy.
+	Name() string
+	// Touch accesses one page (by page index) and reports whether it hit.
+	// Policies that admit on miss insert the page.
+	Touch(page int64, write bool) bool
+	// Len is the number of resident pages.
+	Len() int
+	// Capacity is the maximum number of resident pages.
+	Capacity() int
+}
+
+// FIFO evicts in insertion order regardless of reuse.
+type FIFO struct {
+	cap   int
+	queue []int64
+	head  int
+	set   map[int64]struct{}
+}
+
+// NewFIFO creates a FIFO cache holding capPages pages.
+func NewFIFO(capPages int) *FIFO {
+	if capPages <= 0 {
+		panic("cache: capacity must be positive")
+	}
+	return &FIFO{cap: capPages, set: make(map[int64]struct{}, capPages)}
+}
+
+// Name implements Cache.
+func (c *FIFO) Name() string { return "fifo" }
+
+// Touch implements Cache.
+func (c *FIFO) Touch(page int64, _ bool) bool {
+	if _, ok := c.set[page]; ok {
+		return true
+	}
+	if len(c.set) >= c.cap {
+		victim := c.queue[c.head]
+		c.head++
+		delete(c.set, victim)
+	}
+	c.set[page] = struct{}{}
+	c.queue = append(c.queue, page)
+	// Compact the drained prefix occasionally to bound memory.
+	if c.head > c.cap && c.head*2 > len(c.queue) {
+		c.queue = append(c.queue[:0], c.queue[c.head:]...)
+		c.head = 0
+	}
+	return false
+}
+
+// Len implements Cache.
+func (c *FIFO) Len() int { return len(c.set) }
+
+// Capacity implements Cache.
+func (c *FIFO) Capacity() int { return c.cap }
+
+// LRU evicts the least recently used page.
+type LRU struct {
+	cap int
+	ll  *list.List // front = most recent; values are page indices
+	pos map[int64]*list.Element
+}
+
+// NewLRU creates an LRU cache holding capPages pages.
+func NewLRU(capPages int) *LRU {
+	if capPages <= 0 {
+		panic("cache: capacity must be positive")
+	}
+	return &LRU{cap: capPages, ll: list.New(), pos: make(map[int64]*list.Element, capPages)}
+}
+
+// Name implements Cache.
+func (c *LRU) Name() string { return "lru" }
+
+// Touch implements Cache.
+func (c *LRU) Touch(page int64, _ bool) bool {
+	if el, ok := c.pos[page]; ok {
+		c.ll.MoveToFront(el)
+		return true
+	}
+	if c.ll.Len() >= c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.pos, back.Value.(int64))
+	}
+	c.pos[page] = c.ll.PushFront(page)
+	return false
+}
+
+// Len implements Cache.
+func (c *LRU) Len() int { return c.ll.Len() }
+
+// Capacity implements Cache.
+func (c *LRU) Capacity() int { return c.cap }
+
+// Frozen is the FrozenHot-style cache (§7.3.1): a fixed page range pinned at
+// construction with no admission and no eviction, which eliminates cache
+// management overhead entirely. A page hits iff it lies in the frozen range.
+type Frozen struct {
+	startPage, endPage int64 // [startPage, endPage)
+}
+
+// NewFrozen pins the byte range [offset, offset+length) of the address
+// space; both should be page aligned (misalignment is tolerated by rounding
+// outward).
+func NewFrozen(offset, length int64) *Frozen {
+	if length <= 0 {
+		panic("cache: frozen range must be non-empty")
+	}
+	start := offset / PageSize
+	end := (offset + length + PageSize - 1) / PageSize
+	return &Frozen{startPage: start, endPage: end}
+}
+
+// Name implements Cache.
+func (c *Frozen) Name() string { return "frozen" }
+
+// Touch implements Cache.
+func (c *Frozen) Touch(page int64, _ bool) bool {
+	return page >= c.startPage && page < c.endPage
+}
+
+// Len implements Cache.
+func (c *Frozen) Len() int { return int(c.endPage - c.startPage) }
+
+// Capacity implements Cache.
+func (c *Frozen) Capacity() int { return c.Len() }
+
+// SimResult reports a hit-ratio simulation.
+type SimResult struct {
+	Policy string
+	// PageHits / PageTotal count page touches (an IO spanning n pages
+	// contributes n touches).
+	PageHits, PageTotal int64
+}
+
+// HitRatio returns PageHits/PageTotal, or NaN with no traffic.
+func (r SimResult) HitRatio() float64 {
+	if r.PageTotal == 0 {
+		return nan()
+	}
+	return float64(r.PageHits) / float64(r.PageTotal)
+}
+
+// Simulate replays accesses through the cache, touching every page an IO
+// covers.
+func Simulate(c Cache, accesses []Access) SimResult {
+	res := SimResult{Policy: c.Name()}
+	for _, a := range accesses {
+		first := a.Offset / PageSize
+		last := (a.Offset + int64(a.Size) - 1) / PageSize
+		for p := first; p <= last; p++ {
+			res.PageTotal++
+			if c.Touch(p, a.Write) {
+				res.PageHits++
+			}
+		}
+	}
+	return res
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}
+
+// String renders the result for logs.
+func (r SimResult) String() string {
+	return fmt.Sprintf("%s: %d/%d pages (%.1f%%)", r.Policy, r.PageHits, r.PageTotal, 100*r.HitRatio())
+}

@@ -1,0 +1,67 @@
+package cache
+
+// Clock is the classic second-chance approximation of LRU: pages sit on a
+// circular buffer with a reference bit; the hand sweeps, clearing bits and
+// evicting the first unreferenced page. It serves as an extension baseline
+// between FIFO (no recency) and LRU (exact recency) in the §7 cache study.
+type Clock struct {
+	cap  int
+	hand int
+	ring []clockEntry
+	pos  map[int64]int // page -> ring index
+}
+
+type clockEntry struct {
+	page int64
+	ref  bool
+	used bool
+}
+
+// NewClock creates a CLOCK cache holding capPages pages.
+func NewClock(capPages int) *Clock {
+	if capPages <= 0 {
+		panic("cache: capacity must be positive")
+	}
+	return &Clock{
+		cap:  capPages,
+		ring: make([]clockEntry, capPages),
+		pos:  make(map[int64]int, capPages),
+	}
+}
+
+// Name implements Cache.
+func (c *Clock) Name() string { return "clock" }
+
+// Touch implements Cache.
+func (c *Clock) Touch(page int64, _ bool) bool {
+	if i, ok := c.pos[page]; ok {
+		c.ring[i].ref = true
+		return true
+	}
+	// Find a victim slot: first unused, else sweep.
+	for {
+		e := &c.ring[c.hand]
+		if !e.used {
+			e.page, e.ref, e.used = page, false, true
+			c.pos[page] = c.hand
+			c.hand = (c.hand + 1) % c.cap
+			return false
+		}
+		if e.ref {
+			e.ref = false
+			c.hand = (c.hand + 1) % c.cap
+			continue
+		}
+		delete(c.pos, e.page)
+		e.page, e.ref = page, false
+		c.pos[page] = c.hand
+		c.hand = (c.hand + 1) % c.cap
+		return false
+	}
+}
+
+// Len implements Cache.
+func (c *Clock) Len() int { return len(c.pos) }
+
+// Capacity implements Cache.
+func (c *Clock) Capacity() int { return c.cap }

@@ -1,0 +1,436 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"ebslab/internal/balancer"
+	"ebslab/internal/cache"
+	"ebslab/internal/cluster"
+	"ebslab/internal/hypervisor"
+	"ebslab/internal/latency"
+	"ebslab/internal/predict"
+	"ebslab/internal/stats"
+	"ebslab/internal/trace"
+)
+
+// stdRand aliases math/rand.Rand for the failover helper.
+type stdRand = rand.Rand
+
+func newStdRand(seed int64) *stdRand { return rand.New(rand.NewSource(seed)) }
+
+// RebindWithConfig reruns the Fig 2(d) rebinding study under an explicit
+// rebinding configuration — the ablation knob for the rebinding period and
+// trigger threshold.
+func (s *Study) RebindWithConfig(maxNodes, winSec int, cfg hypervisor.RebindConfig) Fig2dResult {
+	if maxNodes <= 0 {
+		maxNodes = 40
+	}
+	if winSec <= 0 {
+		winSec = 20
+	}
+	var res Fig2dResult
+	var gains, ratios []float64
+	for _, n := range s.busiestNodes(maxNodes) {
+		slot := s.nodeSampledSlotTraffic(n, winSec, 100, rebindSampleEvery)
+		binding := hypervisor.RoundRobin(s.Fleet.Topology, n)
+		r := hypervisor.SimulateRebinding(binding, slot, cfg)
+		if math.IsNaN(r.Gain) {
+			continue
+		}
+		res.Points = append(res.Points, r)
+		gains = append(gains, r.Gain)
+		ratios = append(ratios, r.Ratio)
+	}
+	res.FracImproved = stats.FractionWhere(gains, func(x float64) bool { return x < 0.999 })
+	res.MedianGain = stats.Median(gains)
+	res.MedianRatio = stats.Median(ratios)
+	return res
+}
+
+// DispatchAblation summarizes the §4.4 dispatch-model comparison across
+// the busiest nodes.
+type DispatchAblation struct {
+	Policy hypervisor.DispatchPolicy
+	// MedianCoV is the median per-node normalized WT CoV.
+	MedianCoV float64
+	// SyncOps totals the cross-thread handoffs all nodes paid.
+	SyncOps int
+	Nodes   int
+}
+
+// AblateDispatch replays per-QP slot traffic of the busiest nodes under one
+// dispatch policy (single-WT hosting vs per-IO dispatch).
+func (s *Study) AblateDispatch(maxNodes, winSec int, policy hypervisor.DispatchPolicy) DispatchAblation {
+	if maxNodes <= 0 {
+		maxNodes = 40
+	}
+	if winSec <= 0 {
+		winSec = 20
+	}
+	res := DispatchAblation{Policy: policy}
+	var covs []float64
+	for _, n := range s.busiestNodes(maxNodes) {
+		slot := s.nodeSampledSlotTraffic(n, winSec, 100, rebindSampleEvery)
+		binding := hypervisor.RoundRobin(s.Fleet.Topology, n)
+		r := hypervisor.SimulateDispatch(binding, slot, policy)
+		if math.IsNaN(r.CoV) {
+			continue
+		}
+		res.Nodes++
+		res.SyncOps += r.SyncOps
+		covs = append(covs, r.CoV)
+	}
+	res.MedianCoV = stats.Median(covs)
+	return res
+}
+
+// HostingAblation compares single-WT polling with a shared node-wide FIFO
+// over real sampled IO events (§4.4's fairness-vs-balance tension).
+type HostingAblation struct {
+	// MedianIsolation[mode] and MedianWaitUS[mode] index by HostingMode.
+	MedianIsolation map[hypervisor.HostingMode]float64
+	MedianWaitUS    map[hypervisor.HostingMode]float64
+	Nodes           int
+}
+
+// AblateHosting replays each busy node's sampled IO events through both
+// hosting models and compares median wait and isolation.
+func (s *Study) AblateHosting(maxNodes, winSec int) HostingAblation {
+	if maxNodes <= 0 {
+		maxNodes = 24
+	}
+	if winSec <= 0 {
+		winSec = 10
+	}
+	top := s.Fleet.Topology
+	res := HostingAblation{
+		MedianIsolation: map[hypervisor.HostingMode]float64{},
+		MedianWaitUS:    map[hypervisor.HostingMode]float64{},
+	}
+	iso := map[hypervisor.HostingMode][]float64{}
+	wait := map[hypervisor.HostingMode][]float64{}
+	for _, n := range s.busiestNodes(maxNodes) {
+		binding := hypervisor.RoundRobin(top, n)
+		var ios []hypervisor.PollIO
+		seen := map[int32]bool{}
+		for _, qp := range binding.QPs {
+			vd := top.VDOfQP(qp)
+			if seen[int32(vd)] {
+				continue
+			}
+			seen[int32(vd)] = true
+			s.Fleet.GenEvents(vd, winSec, 64, func(ev workloadEvent) {
+				ios = append(ios, hypervisor.PollIO{
+					QP: ev.QP, ArriveUS: ev.TimeUS,
+					ServiceUS: hypervisor.ServiceModel(ev.Size),
+				})
+			})
+		}
+		if len(ios) < 10 {
+			continue
+		}
+		res.Nodes++
+		for _, mode := range []hypervisor.HostingMode{hypervisor.SingleWTPolling, hypervisor.SharedQueueFIFO} {
+			r := hypervisor.SimulatePolling(binding, ios, mode)
+			if !math.IsNaN(r.Isolation) {
+				iso[mode] = append(iso[mode], r.Isolation)
+			}
+			var all []float64
+			for _, w := range r.MeanWaitUS {
+				if !math.IsNaN(w) {
+					all = append(all, w)
+				}
+			}
+			if len(all) > 0 {
+				wait[mode] = append(wait[mode], stats.Mean(all))
+			}
+		}
+	}
+	for mode, xs := range iso {
+		res.MedianIsolation[mode] = stats.Median(xs)
+	}
+	for mode, xs := range wait {
+		res.MedianWaitUS[mode] = stats.Median(xs)
+	}
+	return res
+}
+
+// Render prints the hosting ablation.
+func (r HostingAblation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: hosting model over %d nodes (isolation < 1 insulates light QPs)\n", r.Nodes)
+	for _, mode := range []hypervisor.HostingMode{hypervisor.SingleWTPolling, hypervisor.SharedQueueFIFO} {
+		fmt.Fprintf(&b, "  %-18s median isolation %.2f, median wait %.0f us\n",
+			mode, r.MedianIsolation[mode], r.MedianWaitUS[mode])
+	}
+	return b.String()
+}
+
+// CachePolicyAblation extends Fig 7(a) with CLOCK alongside FIFO/LRU/FC.
+type CachePolicyAblation struct {
+	BlockMiB int64
+	// Median hit ratios per policy name.
+	Median map[string]float64
+	VDs    int
+}
+
+// AblateCachePolicy replays study VDs through four cache policies at one
+// block size.
+func (s *Study) AblateCachePolicy(maxVDs, maxEventsPerVD int, blockMiB int64) CachePolicyAblation {
+	if maxVDs <= 0 {
+		maxVDs = 24
+	}
+	if maxEventsPerVD <= 0 {
+		maxEventsPerVD = 8000
+	}
+	if blockMiB <= 0 {
+		blockMiB = 256
+	}
+	blockSize := blockMiB << 20
+	capPages := int(blockSize / cache.PageSize)
+	vds := s.studyVDs(maxVDs)
+	hits := map[string][]float64{}
+	for _, vd := range vds {
+		accesses := s.vdAccesses(vd, maxEventsPerVD)
+		if len(accesses) == 0 {
+			continue
+		}
+		for _, mk := range []func() cache.Cache{
+			func() cache.Cache { return cache.NewFIFO(capPages) },
+			func() cache.Cache { return cache.NewLRU(capPages) },
+			func() cache.Cache { return cache.NewClock(capPages) },
+		} {
+			c := mk()
+			r := cache.Simulate(c, accesses)
+			if v := r.HitRatio(); !math.IsNaN(v) {
+				hits[c.Name()] = append(hits[c.Name()], v)
+			}
+		}
+		rep := cache.AnalyzeBlocks(accesses, s.Fleet.Topology.VDs[vd].Capacity, blockSize)
+		if rep.Hottest >= 0 {
+			fc := cache.Simulate(cache.NewFrozen(rep.Hottest*blockSize, blockSize), accesses)
+			if v := fc.HitRatio(); !math.IsNaN(v) {
+				hits["frozen"] = append(hits["frozen"], v)
+			}
+		}
+	}
+	res := CachePolicyAblation{BlockMiB: blockMiB, VDs: len(vds), Median: map[string]float64{}}
+	for name, xs := range hits {
+		res.Median[name] = stats.Median(xs)
+	}
+	return res
+}
+
+// Render prints the cache-policy ablation.
+func (r CachePolicyAblation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: cache policies at %d MiB over %d VDs (median hit ratio)\n", r.BlockMiB, r.VDs)
+	for _, name := range []string{"fifo", "clock", "lru", "frozen"} {
+		fmt.Fprintf(&b, "  %-8s %.1f%%\n", name, 100*r.Median[name])
+	}
+	return b.String()
+}
+
+// PredictorAblation runs the full forecaster roster (the Appendix C five
+// plus naive, EWMA, and Holt) on per-BS write series.
+type PredictorAblation struct {
+	Methods []string
+	Median  []float64 // median normalized MSE per method
+	Series  int
+}
+
+// AblatePredictors evaluates every implemented predictor at per-period
+// refit cadence.
+func (s *Study) AblatePredictors(periodSec int) PredictorAblation {
+	cts := s.clusterTraffics(periodSec)
+	var series [][]float64
+	for _, ct := range cts {
+		future := bsWriteMatrix(ct)
+		for _, row := range future {
+			if stats.Sum(row) > 0 {
+				series = append(series, row)
+			}
+		}
+	}
+	methods := []struct {
+		name string
+		mk   func() predict.Predictor
+	}{
+		{"naive", func() predict.Predictor { return &predict.Naive{} }},
+		{"ewma", func() predict.Predictor { return &predict.EWMA{Alpha: 0.3} }},
+		{"holt", func() predict.Predictor { return predict.NewHolt() }},
+		{"linear", func() predict.Predictor { return predict.NewLinearFit(4) }},
+		{"arima", func() predict.Predictor { return predict.NewARIMA(4, 1) }},
+		{"gbt", func() predict.Predictor { return predict.NewGBT(4, 40, 3, 0.1) }},
+		{"attention", func() predict.Predictor { return predict.NewAttention(4, 256) }},
+	}
+	res := PredictorAblation{Series: len(series)}
+	for _, m := range methods {
+		var nmses []float64
+		for _, ser := range series {
+			if len(ser) <= 10 {
+				continue
+			}
+			ev, err := predict.Evaluate(m.mk(), ser, 8, 1)
+			if err != nil || math.IsNaN(ev.NormMSE) {
+				continue
+			}
+			nmses = append(nmses, ev.NormMSE)
+		}
+		res.Methods = append(res.Methods, m.name)
+		res.Median = append(res.Median, stats.Median(nmses))
+	}
+	return res
+}
+
+// DeploymentAblation compares cache deployment locations — CN-only,
+// BS-only, and the §7.3.2 hybrid — on the same IO populations.
+type DeploymentAblation struct {
+	BlockMiB int64
+	CNFrac   float64
+	// Median write-path p50 gains per deployment (lower = better).
+	CNP50, BSP50, HybridP50 float64
+	// Median hit ratios per deployment.
+	CNHit, BSHit, HybridHit float64
+	VDs                     int
+}
+
+// AblateCacheDeployment evaluates the three deployments over the cacheable
+// study VDs.
+func (s *Study) AblateCacheDeployment(maxVDs, maxEventsPerVD int, blockMiB int64, cnFrac float64) DeploymentAblation {
+	if maxVDs <= 0 {
+		maxVDs = 16
+	}
+	if maxEventsPerVD <= 0 {
+		maxEventsPerVD = 8000
+	}
+	if blockMiB <= 0 {
+		blockMiB = 2048
+	}
+	if cnFrac <= 0 {
+		cnFrac = 0.25
+	}
+	blockSize := blockMiB << 20
+	model := latency.Default()
+	var cnP, bsP, hyP, cnH, bsH, hyH []float64
+	vds := s.studyVDs(maxVDs)
+	for _, vd := range vds {
+		accesses := s.vdAccesses(vd, maxEventsPerVD)
+		if len(accesses) == 0 {
+			continue
+		}
+		capBytes := s.Fleet.Topology.VDs[vd].Capacity
+		rep := cache.AnalyzeBlocks(accesses, capBytes, blockSize)
+		if rep.Hottest < 0 || rep.AccessRate < 0.25 {
+			continue
+		}
+		hotOff := rep.Hottest * blockSize
+		hotLen := blockSize
+		if hotOff+hotLen > capBytes {
+			hotLen = capBytes - hotOff
+		}
+		seed := s.Fleet.Cfg.Seed + int64(vd)
+		take := func(rs []latency.GainResult, p *[]float64, h *[]float64) {
+			for _, g := range rs {
+				if g.Op == trace.OpWrite && !math.IsNaN(g.P50) {
+					*p = append(*p, g.P50)
+					*h = append(*h, g.HitRatio)
+				}
+			}
+		}
+		take(latency.EvaluateGain(model, accesses, hotOff, hotLen, latency.CNCache, seed), &cnP, &cnH)
+		take(latency.EvaluateGain(model, accesses, hotOff, hotLen, latency.BSCache, seed), &bsP, &bsH)
+		take(latency.EvaluateHybridGain(model, accesses, hotOff, hotLen, cnFrac, seed), &hyP, &hyH)
+	}
+	return DeploymentAblation{
+		BlockMiB: blockMiB, CNFrac: cnFrac, VDs: len(vds),
+		CNP50: stats.Median(cnP), BSP50: stats.Median(bsP), HybridP50: stats.Median(hyP),
+		CNHit: stats.Median(cnH), BSHit: stats.Median(bsH), HybridHit: stats.Median(hyH),
+	}
+}
+
+// Render prints the deployment ablation.
+func (r DeploymentAblation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: cache deployment (%d MiB block, hybrid CN share %.0f%%, %d VDs; write p50 gain, lower=better)\n",
+		r.BlockMiB, 100*r.CNFrac, r.VDs)
+	fmt.Fprintf(&b, "  %-10s p50 gain %5.1f%%, hit %5.1f%%\n", "cn-only", 100*r.CNP50, 100*r.CNHit)
+	fmt.Fprintf(&b, "  %-10s p50 gain %5.1f%%, hit %5.1f%%\n", "bs-only", 100*r.BSP50, 100*r.BSHit)
+	fmt.Fprintf(&b, "  %-10s p50 gain %5.1f%%, hit %5.1f%%\n", "hybrid", 100*r.HybridP50, 100*r.HybridHit)
+	return b.String()
+}
+
+// FailoverAblation compares BlockServer-failure recovery policies on the
+// busiest storage cluster.
+type FailoverAblation struct {
+	ClusterIdx int
+	Failed     int // local BS index that failed
+	// Per policy: survivor max-overload (hottest survivor / survivor mean)
+	// and survivor CoV after redistribution.
+	Greedy, Random balancer.FailoverResult
+}
+
+// AblateFailover kills the hottest BlockServer of the busiest cluster at
+// mid-window and redistributes its segments under both policies.
+func (s *Study) AblateFailover(periodSec int) FailoverAblation {
+	cts := s.clusterTraffics(periodSec)
+	victimCluster := s.worstCluster(cts)
+	ct := cts[victimCluster]
+	period := ct.NPeriods / 2
+	// Fail the hottest BS at that period.
+	load := make([]float64, ct.Placement.NumBS())
+	for seg, rows := range ct.Traffic {
+		load[ct.Placement.BSOf(cluster.SegmentID(seg))] += rows[period].Total()
+	}
+	failed := cluster.StorageNodeID(0)
+	for b := range load {
+		if load[b] > load[failed] {
+			failed = cluster.StorageNodeID(b)
+		}
+	}
+	rng := func() *stdRand { return newStdRand(s.Fleet.Cfg.Seed) }
+	res := FailoverAblation{ClusterIdx: victimCluster, Failed: int(failed)}
+	res.Greedy = balancer.Failover(ct.Placement.Clone(), ct.Traffic, period, failed, balancer.FailoverGreedy, rng())
+	res.Random = balancer.Failover(ct.Placement.Clone(), ct.Traffic, period, failed, balancer.FailoverRandom, rng())
+	return res
+}
+
+// Render prints the failover ablation.
+func (r FailoverAblation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: BS failover on cluster %d (failed BS %d)\n", r.ClusterIdx, r.Failed)
+	for _, fr := range []balancer.FailoverResult{r.Greedy, r.Random} {
+		fmt.Fprintf(&b, "  %-16s moved %3d segments: survivor CoV %.2f, max overload %.2fx\n",
+			fr.Policy, fr.Moved, fr.CoVAfter, fr.MaxOverload)
+	}
+	return b.String()
+}
+
+// bsWriteMatrix sums per-BS write traffic per period under the cluster's
+// static placement.
+func bsWriteMatrix(ct clusterTraffic) [][]float64 {
+	out := make([][]float64, ct.Placement.NumBS())
+	for b := range out {
+		out[b] = make([]float64, ct.NPeriods)
+	}
+	for seg, rows := range ct.Traffic {
+		b := ct.Placement.BSOf(cluster.SegmentID(seg))
+		for p, rw := range rows {
+			out[b][p] += rw.W
+		}
+	}
+	return out
+}
+
+// Render prints the predictor ablation.
+func (r PredictorAblation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: predictors on %d per-BS write series (median normalized MSE)\n", r.Series)
+	for i, m := range r.Methods {
+		fmt.Fprintf(&b, "  %-10s %.3f\n", m, r.Median[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,150 @@
+// Package diting implements the study's tracing tool (§2.3): a Dapper-like
+// per-IO tracer that samples one in every trace.SampleRate IOs into trace
+// records, and a full-scale aggregator that folds *every* IO into
+// second-granularity metric rows for the compute domain (per QP-WT) and the
+// storage domain (per segment), following the Table 1 schema.
+package diting
+
+import (
+	"sort"
+
+	"ebslab/internal/cluster"
+	"ebslab/internal/trace"
+)
+
+// Tracer accumulates one observation window of trace and metric data.
+// It is not safe for concurrent use; the simulator drives it from one
+// goroutine.
+type Tracer struct {
+	sampleEvery uint64
+	nextID      uint64
+
+	records []trace.Record
+
+	compute map[computeKey]*accum
+	storage map[storageKey]*accum
+}
+
+type computeKey struct {
+	sec int32
+	qp  cluster.QPID
+}
+
+type storageKey struct {
+	sec int32
+	seg cluster.SegmentID
+}
+
+type accum struct {
+	row trace.MetricRow
+}
+
+// New creates a tracer sampling one in sampleEvery IOs (use
+// trace.SampleRate for the paper's 1/3200; values < 1 are clamped to 1).
+func New(sampleEvery int) *Tracer {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &Tracer{
+		sampleEvery: uint64(sampleEvery),
+		compute:     make(map[computeKey]*accum),
+		storage:     make(map[storageKey]*accum),
+	}
+}
+
+// NextTraceID issues a fresh unique trace ID.
+func (t *Tracer) NextTraceID() uint64 {
+	t.nextID++
+	return t.nextID
+}
+
+// Observe ingests one completed IO: it always updates both metric domains
+// and records the full trace when the ID falls in the sample.
+func (t *Tracer) Observe(rec trace.Record) {
+	if t.sampled(rec.TraceID) {
+		t.records = append(t.records, rec)
+	}
+	sec := int32(rec.TimeUS / 1_000_000)
+	bytes := float64(rec.Size)
+
+	ck := computeKey{sec: sec, qp: rec.QP}
+	ca := t.compute[ck]
+	if ca == nil {
+		ca = &accum{row: trace.MetricRow{
+			Domain: trace.DomainCompute, Sec: sec, DC: rec.DC,
+			User: rec.User, VM: rec.VM, VD: rec.VD,
+			Node: rec.Node, QP: rec.QP, WT: rec.WT,
+		}}
+		t.compute[ck] = ca
+	}
+	addDirectional(&ca.row, rec.Op, bytes)
+
+	sk := storageKey{sec: sec, seg: rec.Segment}
+	sa := t.storage[sk]
+	if sa == nil {
+		sa = &accum{row: trace.MetricRow{
+			Domain: trace.DomainStorage, Sec: sec, DC: rec.DC,
+			User: rec.User, VM: rec.VM, VD: rec.VD,
+			Storage: rec.Storage, Segment: rec.Segment,
+		}}
+		t.storage[sk] = sa
+	}
+	addDirectional(&sa.row, rec.Op, bytes)
+}
+
+func addDirectional(row *trace.MetricRow, op trace.Op, bytes float64) {
+	if op == trace.OpRead {
+		row.ReadBps += bytes
+		row.ReadIOPS++
+	} else {
+		row.WriteBps += bytes
+		row.WriteIOPS++
+	}
+}
+
+// sampled mirrors trace.Sampled but honors the tracer's configured rate.
+func (t *Tracer) sampled(id uint64) bool {
+	if t.sampleEvery == 1 {
+		return true
+	}
+	x := id + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return x%t.sampleEvery == 0
+}
+
+// Records returns the sampled trace records in observation order.
+func (t *Tracer) Records() []trace.Record { return t.records }
+
+// ComputeRows returns the compute-domain metric rows sorted by (sec, qp).
+// Since rows aggregate exactly one second, the accumulated byte totals are
+// already rates (bytes/s and ops/s).
+func (t *Tracer) ComputeRows() []trace.MetricRow {
+	out := make([]trace.MetricRow, 0, len(t.compute))
+	for _, a := range t.compute {
+		out = append(out, a.row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sec != out[j].Sec {
+			return out[i].Sec < out[j].Sec
+		}
+		return out[i].QP < out[j].QP
+	})
+	return out
+}
+
+// StorageRows returns the storage-domain metric rows sorted by (sec, seg).
+func (t *Tracer) StorageRows() []trace.MetricRow {
+	out := make([]trace.MetricRow, 0, len(t.storage))
+	for _, a := range t.storage {
+		out = append(out, a.row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sec != out[j].Sec {
+			return out[i].Sec < out[j].Sec
+		}
+		return out[i].Segment < out[j].Segment
+	})
+	return out
+}

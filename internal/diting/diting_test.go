@@ -1,0 +1,78 @@
+package diting
+
+import (
+	"testing"
+
+	"ebslab/internal/trace"
+)
+
+func TestObserveAggregatesPerSecond(t *testing.T) {
+	tr := New(1)
+	tr.Observe(trace.Record{TraceID: 1, TimeUS: 100, Op: trace.OpWrite, Size: 4096, QP: 7, Segment: 3})
+	tr.Observe(trace.Record{TraceID: 2, TimeUS: 999_999, Op: trace.OpWrite, Size: 4096, QP: 7, Segment: 3})
+	tr.Observe(trace.Record{TraceID: 3, TimeUS: 1_000_000, Op: trace.OpRead, Size: 8192, QP: 7, Segment: 3})
+
+	rows := tr.ComputeRows()
+	if len(rows) != 2 {
+		t.Fatalf("compute rows = %d, want 2 (two seconds)", len(rows))
+	}
+	if rows[0].WriteBps != 8192 || rows[0].WriteIOPS != 2 || rows[0].ReadBps != 0 {
+		t.Fatalf("second 0 row = %+v", rows[0])
+	}
+	if rows[1].ReadBps != 8192 || rows[1].ReadIOPS != 1 {
+		t.Fatalf("second 1 row = %+v", rows[1])
+	}
+	srows := tr.StorageRows()
+	if len(srows) != 2 || srows[0].Segment != 3 {
+		t.Fatalf("storage rows = %+v", srows)
+	}
+	if len(tr.Records()) != 3 {
+		t.Fatalf("sample-everything tracer kept %d records", len(tr.Records()))
+	}
+}
+
+func TestSamplingThinsRecordsButNotMetrics(t *testing.T) {
+	tr := New(100)
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		tr.Observe(trace.Record{TraceID: tr.NextTraceID(), TimeUS: 5, Op: trace.OpWrite, Size: 512, QP: 1, Segment: 1})
+	}
+	kept := len(tr.Records())
+	if kept == 0 || kept > n/50 {
+		t.Fatalf("kept %d records out of %d at 1/100 sampling", kept, n)
+	}
+	rows := tr.ComputeRows()
+	if len(rows) != 1 || rows[0].WriteIOPS != n {
+		t.Fatalf("metric rows must count every IO: %+v", rows)
+	}
+}
+
+func TestDistinctQPsGetDistinctRows(t *testing.T) {
+	tr := New(1)
+	tr.Observe(trace.Record{TraceID: 1, TimeUS: 0, Op: trace.OpRead, Size: 1024, QP: 1, Segment: 5})
+	tr.Observe(trace.Record{TraceID: 2, TimeUS: 0, Op: trace.OpRead, Size: 2048, QP: 2, Segment: 5})
+	rows := tr.ComputeRows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[0].QP != 1 || rows[1].QP != 2 {
+		t.Fatalf("rows not sorted by QP: %+v", rows)
+	}
+	// Same segment -> one storage row with the sum.
+	srows := tr.StorageRows()
+	if len(srows) != 1 || srows[0].ReadBps != 3072 {
+		t.Fatalf("storage rows = %+v", srows)
+	}
+}
+
+func TestNextTraceIDUnique(t *testing.T) {
+	tr := New(1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := tr.NextTraceID()
+		if seen[id] {
+			t.Fatal("duplicate trace ID")
+		}
+		seen[id] = true
+	}
+}

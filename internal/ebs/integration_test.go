@@ -1,0 +1,119 @@
+package ebs
+
+import (
+	"math"
+	"testing"
+
+	"ebslab/internal/cluster"
+	"ebslab/internal/trace"
+	"ebslab/internal/workload"
+)
+
+// TestMetricRowsMatchGeneratorGroundTruth is the cross-module integration
+// check: the DiTing metric rows the end-to-end simulator aggregates must
+// reproduce the workload generator's per-VD traffic within the event
+// model's quantization error. This ties together workload -> events -> ebs
+// path -> diting aggregation.
+func TestMetricRowsMatchGeneratorGroundTruth(t *testing.T) {
+	f := smallFleet(t)
+	const dur = 12
+	const maxVDs = 8
+	ds, err := New(f).Run(Options{
+		DurationSec: dur, TraceSampleEvery: 1, EventSampleEvery: 1,
+		MaxVDs: maxVDs, DisableThrottle: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate metric rows per VD.
+	gotBytes := make(map[cluster.VDID]float64)
+	for i := range ds.Compute {
+		row := &ds.Compute[i]
+		gotBytes[row.VD] += row.Bps() // one-second rows: rate == bytes
+	}
+	// Ground truth from the generator.
+	for vd := 0; vd < maxVDs; vd++ {
+		series := f.VDSeries(cluster.VDID(vd), dur)
+		var want float64
+		for _, s := range series {
+			want += s.Bps()
+		}
+		got := gotBytes[cluster.VDID(vd)]
+		if want < 1e6 {
+			continue // too quiet for a stable comparison
+		}
+		if math.Abs(got-want)/want > 0.5 {
+			t.Errorf("vd %d: metric bytes %.3g vs generator %.3g (>50%% off)", vd, got, want)
+		}
+	}
+	// Storage rows must cover the same bytes as compute rows.
+	var computeTotal, storageTotal float64
+	for i := range ds.Compute {
+		computeTotal += ds.Compute[i].Bps()
+	}
+	for i := range ds.Storage {
+		storageTotal += ds.Storage[i].Bps()
+	}
+	if computeTotal == 0 {
+		t.Skip("window too quiet")
+	}
+	if math.Abs(computeTotal-storageTotal)/computeTotal > 1e-9 {
+		t.Errorf("compute domain %v != storage domain %v", computeTotal, storageTotal)
+	}
+}
+
+// TestSampledTraceCountConsistent checks the 1/3200-style sampling: with
+// sampling on, roughly total/sampleEvery records survive.
+func TestSampledTraceCountConsistent(t *testing.T) {
+	f := smallFleet(t)
+	full, err := New(f).Run(Options{DurationSec: 10, TraceSampleEvery: 1, MaxVDs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := New(f).Run(Options{DurationSec: 10, TraceSampleEvery: 16, MaxVDs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(full.Trace)
+	if n < 1000 {
+		t.Skip("not enough IOs for a sampling-rate check")
+	}
+	got := float64(len(sampled.Trace))
+	want := float64(n) / 16
+	if math.Abs(got-want)/want > 0.5 {
+		t.Errorf("sampled %v records, want ~%v", got, want)
+	}
+	// Metric rows must be identical (full-scale) regardless of sampling.
+	if len(sampled.Compute) != len(full.Compute) {
+		t.Errorf("metric rows differ under sampling: %d vs %d", len(sampled.Compute), len(full.Compute))
+	}
+}
+
+// TestLatencyStagesPlausible sanity-checks the five-stage latency model
+// through the simulator: ChunkServer dominates, networks are symmetric-ish.
+func TestLatencyStagesPlausible(t *testing.T) {
+	f := smallFleet(t)
+	ds, err := New(f).Run(Options{DurationSec: 8, TraceSampleEvery: 1, MaxVDs: 10, DisableThrottle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Trace) < 100 {
+		t.Skip("too few IOs")
+	}
+	var sums [trace.NumStages]float64
+	for i := range ds.Trace {
+		for s := trace.Stage(0); s < trace.NumStages; s++ {
+			sums[s] += float64(ds.Trace[i].Latency[s])
+		}
+	}
+	if !(sums[trace.StageChunkServer] > sums[trace.StageFrontendNet]) {
+		t.Error("ChunkServer should dominate network hops")
+	}
+	ratio := sums[trace.StageFrontendNet] / sums[trace.StageBackendNet]
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("network hops asymmetric: %v", ratio)
+	}
+}
+
+// silence unused-import lint if workload types get refactored.
+var _ = workload.DefaultConfig

@@ -1,0 +1,13 @@
+package ebs
+
+import "math/rand"
+
+// newLatencyRand derives the latency-sampling stream from the fleet seed
+// and an optional user override (0 keeps the fleet-derived stream).
+func newLatencyRand(fleetSeed, override int64) *rand.Rand {
+	seed := fleetSeed ^ 0x1a7e9c
+	if override != 0 {
+		seed = override
+	}
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,201 @@
+// Package ebs wires every substrate into an end-to-end simulator of the EBS
+// IO path of Figure 1: VMs issue block IOs to their VDs' queue pairs; the
+// hypervisor's worker threads (round-robin bound) pick them up, applying the
+// per-VD dual-cap throttle; requests cross the frontend network to the
+// BlockServer owning the target segment, then the backend network to the
+// ChunkServer; the DiTing tracer samples per-IO records and aggregates
+// full-scale per-second metrics — producing exactly the two datasets the
+// study consumes.
+package ebs
+
+import (
+	"fmt"
+
+	"ebslab/internal/cluster"
+	"ebslab/internal/diting"
+	"ebslab/internal/hypervisor"
+	"ebslab/internal/latency"
+	"ebslab/internal/throttle"
+	"ebslab/internal/trace"
+	"ebslab/internal/workload"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// DurationSec is the observation window (defaults to the fleet config's
+	// window).
+	DurationSec int
+	// TraceSampleEvery is the DiTing per-IO sampling rate (default
+	// trace.SampleRate = 3200; pass 1 to trace everything).
+	TraceSampleEvery int
+	// EventSampleEvery thins the generated IO stream itself for
+	// tractability (default 1: generate every IO). Metric rows scale the
+	// counted bytes back up so rates stay calibrated.
+	EventSampleEvery int
+	// MaxVDs bounds how many virtual disks are simulated (0 = all).
+	MaxVDs int
+	// DisableThrottle turns off the hypervisor throttle.
+	DisableThrottle bool
+	// Latency overrides the latency model (default latency.Default()).
+	Latency *latency.Model
+	// Seed drives the latency sampling streams (default: fleet seed).
+	Seed int64
+}
+
+// Sim is an end-to-end EBS simulation over one generated fleet.
+type Sim struct {
+	fleet    *workload.Fleet
+	bindings []*hypervisor.Binding // per compute node
+	model    *latency.Model
+}
+
+// New builds a simulator over the fleet with production (round-robin)
+// QP-to-WT bindings.
+func New(f *workload.Fleet) *Sim {
+	s := &Sim{fleet: f, model: latency.Default()}
+	for n := range f.Topology.Nodes {
+		s.bindings = append(s.bindings, hypervisor.RoundRobin(f.Topology, cluster.NodeID(n)))
+	}
+	return s
+}
+
+// Binding returns the QP binding of one compute node (for inspection).
+func (s *Sim) Binding(n cluster.NodeID) *hypervisor.Binding { return s.bindings[n] }
+
+// Run simulates the fleet's IO for the window and returns the collected
+// datasets.
+func (s *Sim) Run(opts Options) (*trace.Dataset, error) {
+	top := s.fleet.Topology
+	if opts.DurationSec <= 0 {
+		opts.DurationSec = s.fleet.Cfg.DurationSec
+	}
+	if opts.TraceSampleEvery <= 0 {
+		opts.TraceSampleEvery = trace.SampleRate
+	}
+	if opts.EventSampleEvery <= 0 {
+		opts.EventSampleEvery = 1
+	}
+	model := s.model
+	if opts.Latency != nil {
+		model = opts.Latency
+	}
+	nVDs := len(top.VDs)
+	if opts.MaxVDs > 0 && opts.MaxVDs < nVDs {
+		nVDs = opts.MaxVDs
+	}
+
+	tracer := diting.New(opts.TraceSampleEvery)
+	rng := newLatencyRand(s.fleet.Cfg.Seed, opts.Seed)
+
+	// Per-node QP index lookup for worker-thread attribution.
+	wtOf := make(map[cluster.QPID]int8)
+	for _, b := range s.bindings {
+		for i, qp := range b.QPs {
+			wtOf[qp] = b.WTOf[i]
+		}
+	}
+
+	for vdIdx := 0; vdIdx < nVDs; vdIdx++ {
+		vdID := cluster.VDID(vdIdx)
+		vd := &top.VDs[vdIdx]
+		vm := &top.VMs[vd.VM]
+		node := &top.Nodes[vm.Node]
+
+		// Per-VD throttle replay over the second-granularity series gives
+		// each second's queue delay.
+		var queueDelay []float64
+		if !opts.DisableThrottle {
+			series := s.fleet.VDSeries(vdID, opts.DurationSec)
+			demand := make([]throttle.Demand, len(series))
+			for i, smp := range series {
+				demand[i] = throttle.Demand{
+					ReadBps: smp.ReadBps, WriteBps: smp.WriteBps,
+					ReadIOPS: smp.ReadIOPS, WriteIOPS: smp.WriteIOPS,
+				}
+			}
+			res := throttle.Simulate(
+				[]throttle.Caps{{Tput: vd.ThroughputCap, IOPS: vd.IOPSCap}},
+				[][]throttle.Demand{demand})
+			queueDelay = res.QueueDelaySec[0]
+		}
+
+		var genErr error
+		s.fleet.GenEvents(vdID, opts.DurationSec, opts.EventSampleEvery, func(ev workload.Event) {
+			if genErr != nil {
+				return
+			}
+			seg := top.SegmentOfOffset(vdID, ev.Offset)
+			sn := s.fleet.Seg2BS.BSOf(seg)
+			if sn < 0 {
+				genErr = fmt.Errorf("ebs: segment %d unplaced", seg)
+				return
+			}
+			rec := trace.Record{
+				TraceID: tracer.NextTraceID(),
+				TimeUS:  ev.TimeUS,
+				Op:      ev.Op,
+				Size:    ev.Size,
+				Offset:  ev.Offset,
+				DC:      node.DC,
+				Node:    node.ID,
+				User:    vm.User,
+				VM:      vm.ID,
+				VD:      vdID,
+				QP:      ev.QP,
+				WT:      wtOf[ev.QP],
+				Storage: sn,
+				Segment: seg,
+			}
+			rec.Latency = model.Sample(rng, ev.Op, ev.Size, latency.NoCache, false)
+			if queueDelay != nil {
+				sec := int(ev.TimeUS / 1_000_000)
+				if sec < len(queueDelay) && queueDelay[sec] > 0 {
+					rec.Latency[trace.StageComputeNode] += float32(queueDelay[sec] * 1e6)
+				}
+			}
+			tracer.Observe(rec)
+		})
+		if genErr != nil {
+			return nil, genErr
+		}
+	}
+
+	ds := &trace.Dataset{
+		Topology:    top,
+		Seg2BS:      s.fleet.Seg2BS,
+		DurationSec: opts.DurationSec,
+		Trace:       tracer.Records(),
+		Compute:     scaleRows(tracer.ComputeRows(), float64(opts.EventSampleEvery)),
+		Storage:     scaleRows(tracer.StorageRows(), float64(opts.EventSampleEvery)),
+	}
+	for i := range top.VDs {
+		vd := &top.VDs[i]
+		ds.VDSpecs = append(ds.VDSpecs, trace.VDSpec{
+			VD: vd.ID, Capacity: vd.Capacity,
+			ThroughputCap: vd.ThroughputCap, IOPSCap: vd.IOPSCap,
+			NumQPs: len(vd.QPs),
+		})
+	}
+	for i := range top.VMs {
+		vm := &top.VMs[i]
+		ds.VMSpecs = append(ds.VMSpecs, trace.VMSpec{
+			VM: vm.ID, Node: vm.Node, App: vm.App, VDs: vm.VDs,
+		})
+	}
+	return ds, nil
+}
+
+// scaleRows compensates metric rows for event thinning so reported rates
+// approximate the full-scale traffic.
+func scaleRows(rows []trace.MetricRow, factor float64) []trace.MetricRow {
+	if factor == 1 {
+		return rows
+	}
+	for i := range rows {
+		rows[i].ReadBps *= factor
+		rows[i].WriteBps *= factor
+		rows[i].ReadIOPS *= factor
+		rows[i].WriteIOPS *= factor
+	}
+	return rows
+}

@@ -1,0 +1,139 @@
+package hypervisor
+
+import (
+	"ebslab/internal/cluster"
+	"ebslab/internal/stats"
+)
+
+// NodeType is the skewness taxonomy of §4.2.
+type NodeType uint8
+
+// Node skewness categories.
+const (
+	// TypeIdle (Type I): fewer QPs than worker threads, so at least one WT
+	// is structurally idle.
+	TypeIdle NodeType = iota + 1
+	// TypeSingleQP (Type II): the node's hottest VM funnels everything
+	// through a single QP, so one WT takes all of its traffic.
+	TypeSingleQP
+	// TypeMultiQP (Type III): the hottest VM has multiple QPs, but traffic
+	// still concentrates on a few of them.
+	TypeMultiQP
+)
+
+func (t NodeType) String() string {
+	switch t {
+	case TypeIdle:
+		return "TypeI-IdleWT"
+	case TypeSingleQP:
+		return "TypeII-SingleQP"
+	case TypeMultiQP:
+		return "TypeIII-MultiQP"
+	}
+	return "TypeUnknown"
+}
+
+// Classify assigns the node to one of the three skewness categories, using
+// total per-QP traffic over the window (aligned with Topology.NodeQPs
+// order). The second return is the hottest VM, or -1 when the node moved no
+// traffic (such nodes are reported as Type I: everything idles).
+func Classify(top *cluster.Topology, node cluster.NodeID, qpTraffic []float64) (NodeType, cluster.VMID) {
+	qps := top.NodeQPs(node)
+	if len(qps) < top.Nodes[node].WorkerNum {
+		return TypeIdle, hottestVM(top, node, qps, qpTraffic)
+	}
+	hot := hottestVM(top, node, qps, qpTraffic)
+	if hot < 0 {
+		return TypeIdle, -1
+	}
+	vm := &top.VMs[hot]
+	var hotQPs int
+	for _, vd := range vm.VDs {
+		hotQPs += len(top.VDs[vd].QPs)
+	}
+	if len(vm.VDs) == 1 && hotQPs == 1 {
+		return TypeSingleQP, hot
+	}
+	if hotQPs == 1 {
+		// A single QP across multiple VDs cannot happen (every VD has at
+		// least one QP), but guard anyway.
+		return TypeSingleQP, hot
+	}
+	return TypeMultiQP, hot
+}
+
+// hottestVM returns the VM with the largest summed QP traffic, or -1 when
+// all traffic is zero.
+func hottestVM(top *cluster.Topology, node cluster.NodeID, qps []cluster.QPID, qpTraffic []float64) cluster.VMID {
+	perVM := make(map[cluster.VMID]float64)
+	for i, qp := range qps {
+		perVM[top.VMOfQP(qp)] += qpTraffic[i]
+	}
+	best := cluster.VMID(-1)
+	var bestV float64
+	for vm, v := range perVM {
+		if v > bestV {
+			best, bestV = vm, v
+		}
+	}
+	return best
+}
+
+// ThreeTierCoV holds the per-node hierarchy skewness measurements of Fig
+// 2(b): the CoV of QP traffic within the hottest VM, of VD traffic within
+// the hottest VM, and of QP traffic within each VD (reported for the
+// hottest VD).
+type ThreeTierCoV struct {
+	VM2QP float64 // CoV of QP traffic inside the hottest VM
+	VM2VD float64 // CoV of VD traffic inside the hottest VM
+	VD2QP float64 // CoV of QP traffic inside the hottest VD of the hottest VM
+}
+
+// MeasureThreeTier computes Fig 2(b)'s three CoVs for one node. Any level
+// with fewer than two children yields NaN, matching how the paper reports
+// only multi-child distributions.
+func MeasureThreeTier(top *cluster.Topology, node cluster.NodeID, qpTraffic []float64) ThreeTierCoV {
+	qps := top.NodeQPs(node)
+	byQP := make(map[cluster.QPID]float64, len(qps))
+	for i, qp := range qps {
+		byQP[qp] = qpTraffic[i]
+	}
+	hot := hottestVM(top, node, qps, qpTraffic)
+	var out ThreeTierCoV
+	out.VM2QP, out.VM2VD, out.VD2QP = nan(), nan(), nan()
+	if hot < 0 {
+		return out
+	}
+	vm := &top.VMs[hot]
+
+	var vmQPs []float64
+	vdTraffic := make([]float64, len(vm.VDs))
+	hotVD, hotVDVal := -1, -1.0
+	for i, vd := range vm.VDs {
+		for _, qp := range top.VDs[vd].QPs {
+			vmQPs = append(vmQPs, byQP[qp])
+			vdTraffic[i] += byQP[qp]
+		}
+		if vdTraffic[i] > hotVDVal {
+			hotVD, hotVDVal = i, vdTraffic[i]
+		}
+	}
+	out.VM2QP = normCoVOrNaN(vmQPs)
+	out.VM2VD = normCoVOrNaN(vdTraffic)
+	if hotVD >= 0 {
+		var qpVals []float64
+		for _, qp := range top.VDs[vm.VDs[hotVD]].QPs {
+			qpVals = append(qpVals, byQP[qp])
+		}
+		out.VD2QP = normCoVOrNaN(qpVals)
+	}
+	return out
+}
+
+func normCoVOrNaN(xs []float64) float64 {
+	if len(xs) < 2 {
+		return nan()
+	}
+	// stats.NormCoV already yields NaN for zero-mean input.
+	return stats.NormCoV(xs)
+}

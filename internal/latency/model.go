@@ -1,0 +1,152 @@
+// Package latency models per-IO latency across the five EBS stack
+// components the trace dataset records (§2.3): compute node, frontend
+// network, BlockServer, backend network, ChunkServer. The model combines a
+// per-stage base cost, a size-proportional transfer term, lognormal jitter,
+// and a Pareto long tail — enough structure to study where caching helps
+// (Figure 7b/c) without pretending to reproduce the authors' testbed
+// numbers.
+package latency
+
+import (
+	"math"
+	"math/rand"
+
+	"ebslab/internal/trace"
+)
+
+// StageParams shapes one stage's latency in microseconds.
+type StageParams struct {
+	BaseUS      float64 // fixed cost
+	PerMiBUS    float64 // transfer cost per MiB
+	JitterSigma float64 // lognormal sigma on the subtotal
+	TailProb    float64 // probability of a long-tail event
+	TailScaleUS float64 // Pareto scale of the tail addition
+	TailAlpha   float64 // Pareto shape of the tail addition
+}
+
+// Model holds per-stage parameters, split by direction where it matters.
+type Model struct {
+	Read  [trace.NumStages]StageParams
+	Write [trace.NumStages]StageParams
+}
+
+// Default returns a model calibrated to the common shape of disaggregated
+// block stores: network hops tens of microseconds, ChunkServer dominating
+// (SSD access plus replication on writes), long tails mostly in the storage
+// backend.
+func Default() *Model {
+	m := &Model{}
+	net := StageParams{BaseUS: 25, PerMiBUS: 90, JitterSigma: 0.25, TailProb: 0.005, TailScaleUS: 150, TailAlpha: 1.6}
+	m.Read = [trace.NumStages]StageParams{
+		trace.StageComputeNode: {BaseUS: 12, PerMiBUS: 25, JitterSigma: 0.2, TailProb: 0.002, TailScaleUS: 80, TailAlpha: 1.8},
+		trace.StageFrontendNet: net,
+		trace.StageBlockServer: {BaseUS: 18, PerMiBUS: 35, JitterSigma: 0.25, TailProb: 0.004, TailScaleUS: 120, TailAlpha: 1.7},
+		trace.StageBackendNet:  net,
+		trace.StageChunkServer: {BaseUS: 85, PerMiBUS: 220, JitterSigma: 0.35, TailProb: 0.004, TailScaleUS: 400, TailAlpha: 1.4},
+	}
+	m.Write = m.Read
+	// Writes persist with redundancy: the ChunkServer stage costs more and
+	// tails harder. Tail events are kept rarer than 1%, so the p99 sits in
+	// the lognormal body — caching the hot block then barely moves the p99,
+	// matching §7.3.2's observation that neither cache fixes tail latency.
+	m.Write[trace.StageChunkServer] = StageParams{
+		BaseUS: 120, PerMiBUS: 300, JitterSigma: 0.4, TailProb: 0.006, TailScaleUS: 600, TailAlpha: 1.3,
+	}
+	return m
+}
+
+// CacheLocation is where a persistent cache is deployed (§7.3.2).
+type CacheLocation uint8
+
+// Cache deployment locations.
+const (
+	// NoCache disables caching.
+	NoCache CacheLocation = iota
+	// CNCache places the persistent cache on the compute node: hits skip
+	// the storage cluster entirely.
+	CNCache
+	// BSCache places it on the BlockServer: hits skip the backend network
+	// and the ChunkServer.
+	BSCache
+	// HybridCache is §7.3.2's compromise: a small CN-cache in front of a
+	// larger BS-cache. Only used as a GainResult label; per-IO sampling
+	// uses the level that actually served the IO.
+	HybridCache
+)
+
+func (l CacheLocation) String() string {
+	switch l {
+	case NoCache:
+		return "none"
+	case CNCache:
+		return "cn-cache"
+	case BSCache:
+		return "bs-cache"
+	case HybridCache:
+		return "hybrid"
+	}
+	return "unknown"
+}
+
+// cacheAccessUS is the cost of hitting the persistent cache medium (flash or
+// PMEM) itself.
+const cacheAccessUS = 15
+
+// Sample draws the five per-stage latencies for one IO. cacheHit describes
+// whether the IO hit a cache at the given location; stages the hit skips
+// report zero. Writes that hit still pay the cache-medium persistence cost
+// in the stage hosting the cache (the paper requires persisted-with-
+// redundancy semantics, so the cache must be a persistent cache).
+func (m *Model) Sample(rng *rand.Rand, op trace.Op, size int32, loc CacheLocation, cacheHit bool) [trace.NumStages]float32 {
+	params := &m.Read
+	if op == trace.OpWrite {
+		params = &m.Write
+	}
+	var out [trace.NumStages]float32
+	mib := float64(size) / float64(1<<20)
+	for s := trace.Stage(0); s < trace.NumStages; s++ {
+		if cacheHit && skipsStage(loc, s) {
+			continue
+		}
+		p := params[s]
+		v := p.BaseUS + p.PerMiBUS*mib
+		v *= math.Exp(p.JitterSigma*rng.NormFloat64() - p.JitterSigma*p.JitterSigma/2)
+		if p.TailProb > 0 && rng.Float64() < p.TailProb {
+			u := rng.Float64()
+			if u >= 1 {
+				u = math.Nextafter(1, 0)
+			}
+			v += p.TailScaleUS / math.Pow(1-u, 1/p.TailAlpha)
+		}
+		out[s] = float32(v)
+	}
+	if cacheHit {
+		switch loc {
+		case CNCache:
+			out[trace.StageComputeNode] += cacheAccessUS
+		case BSCache:
+			out[trace.StageBlockServer] += cacheAccessUS
+		}
+	}
+	return out
+}
+
+// skipsStage reports whether a hit at loc skips stage s.
+func skipsStage(loc CacheLocation, s trace.Stage) bool {
+	switch loc {
+	case CNCache:
+		return s != trace.StageComputeNode
+	case BSCache:
+		return s == trace.StageBackendNet || s == trace.StageChunkServer
+	}
+	return false
+}
+
+// Total sums a stage vector.
+func Total(stages [trace.NumStages]float32) float64 {
+	var t float64
+	for _, v := range stages {
+		t += float64(v)
+	}
+	return t
+}

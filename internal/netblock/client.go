@@ -1,0 +1,153 @@
+package netblock
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"ebslab/internal/storage"
+)
+
+// Client is a pipelining RPC client: many goroutines (worker threads) can
+// issue requests concurrently over one connection; a demux goroutine routes
+// responses back by request ID.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex // serializes request frames
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *Response
+	readErr error
+	done    chan struct{}
+}
+
+// Dial connects to a netblock server.
+func Dial(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("netblock: dial: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (handy for tests over
+// net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan *Response),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close tears down the connection; in-flight calls fail.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		resp, err := ReadResponse(c.conn)
+		c.mu.Lock()
+		if err != nil {
+			c.readErr = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		ch, ok := c.pending[resp.ID]
+		if ok {
+			delete(c.pending, resp.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// call sends one request and waits for its response.
+func (c *Client) call(req *Request) (*Response, error) {
+	ch := make(chan *Response, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("netblock: connection down: %w", err)
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := WriteRequest(c.conn, req)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		return nil, errors.New("netblock: connection closed mid-call")
+	}
+	return resp, resp.Err()
+}
+
+// AddSegment creates a segment of sizeBlocks 4 KiB blocks on the server.
+func (c *Client) AddSegment(seg storage.SegKey, sizeBlocks int) error {
+	_, err := c.call(&Request{Op: OpAddSegment, Segment: int32(seg), Length: uint32(sizeBlocks)})
+	return err
+}
+
+// HasSegment reports whether the server hosts seg.
+func (c *Client) HasSegment(seg storage.SegKey) bool {
+	_, err := c.call(&Request{Op: OpHasSegment, Segment: int32(seg)})
+	return err == nil
+}
+
+// Write stores block-aligned data at the segment-relative offset.
+func (c *Client) Write(seg storage.SegKey, off int64, data []byte) error {
+	_, err := c.call(&Request{
+		Op: OpWrite, Segment: int32(seg), Offset: off,
+		Length: uint32(len(data)), Payload: data,
+	})
+	return err
+}
+
+// Read returns n block-aligned bytes from the segment-relative offset.
+func (c *Client) Read(seg storage.SegKey, off int64, n int) ([]byte, error) {
+	resp, err := c.call(&Request{Op: OpRead, Segment: int32(seg), Offset: off, Length: uint32(n)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Payload, nil
+}
+
+// Stats fetches the server's cumulative traffic counters.
+func (c *Client) Stats() (readBytes, writeBytes, prefetchHitBytes int64, err error) {
+	resp, err := c.call(&Request{Op: OpStats})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(resp.Payload) != 24 {
+		return 0, 0, 0, errors.New("netblock: malformed stats payload")
+	}
+	return int64(binary.LittleEndian.Uint64(resp.Payload[0:])),
+		int64(binary.LittleEndian.Uint64(resp.Payload[8:])),
+		int64(binary.LittleEndian.Uint64(resp.Payload[16:])), nil
+}

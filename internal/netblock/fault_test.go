@@ -1,0 +1,130 @@
+package netblock
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"ebslab/internal/storage"
+)
+
+// TestServerSurvivesGarbageFrames injects raw garbage and truncated frames:
+// the server must drop the bad connection without crashing and keep serving
+// healthy clients.
+func TestServerSurvivesGarbageFrames(t *testing.T) {
+	c, _ := startServer(t)
+	if err := c.AddSegment(1, 64); err != nil {
+		t.Fatal(err)
+	}
+	addr := c.conn.RemoteAddr().String()
+
+	// Garbage: random bytes that parse into an absurd request header.
+	evil, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil.Write(bytes.Repeat([]byte{0xFF}, 64))
+	evil.Close()
+
+	// Truncated frame: a write header promising more payload than sent.
+	trunc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [reqHeaderSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], 1)
+	hdr[8] = byte(OpWrite)
+	binary.LittleEndian.PutUint32(hdr[21:], 4096)
+	trunc.Write(hdr[:])
+	trunc.Write([]byte("short"))
+	trunc.Close()
+
+	// The healthy client still works.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := c.Write(1, 0, make([]byte, storage.BlockSize))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthy client broken after garbage injection: %v", err)
+		}
+	}
+}
+
+// faultyConn wraps a net.Conn and fails writes after a budget, simulating a
+// frontend-network fault mid-stream.
+type faultyConn struct {
+	net.Conn
+	budget int
+}
+
+func (f *faultyConn) Write(p []byte) (int, error) {
+	if f.budget <= 0 {
+		return 0, errors.New("injected network fault")
+	}
+	if len(p) > f.budget {
+		n, _ := f.Conn.Write(p[:f.budget])
+		f.budget = 0
+		return n, errors.New("injected partial write")
+	}
+	f.budget -= len(p)
+	return f.Conn.Write(p)
+}
+
+func TestClientSurfacesInjectedWriteFault(t *testing.T) {
+	bs := storage.NewBlockServer(storage.NewChunkServer(1 << 20))
+	srv := NewServer(bs)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	raw, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow the AddSegment exchange, then cut the link mid-write.
+	c := NewClient(&faultyConn{Conn: raw, budget: reqHeaderSize + 10})
+	defer c.Close()
+	if err := c.AddSegment(1, 64); err != nil {
+		t.Fatalf("AddSegment within budget: %v", err)
+	}
+	err = c.Write(1, 0, make([]byte, storage.BlockSize))
+	if err == nil {
+		t.Fatal("write over faulty link succeeded")
+	}
+}
+
+// TestReadRequestEOFMidPayload verifies the codec reports short payloads.
+func TestReadRequestEOFMidPayload(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [reqHeaderSize]byte
+	hdr[8] = byte(OpWrite)
+	binary.LittleEndian.PutUint32(hdr[21:], 100)
+	buf.Write(hdr[:])
+	buf.WriteString("only-20-bytes-here!!")
+	if _, err := ReadRequest(&buf); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("short payload error = %v, want unexpected EOF", err)
+	}
+}
+
+// TestUnknownOpIsAnError verifies the server rejects unknown ops but keeps
+// the connection alive.
+func TestUnknownOpIsAnError(t *testing.T) {
+	c, _ := startServer(t)
+	resp, err := c.call(&Request{Op: OpCode(42)})
+	if err == nil {
+		t.Fatalf("unknown op accepted: %+v", resp)
+	}
+	// Connection still serves.
+	if err := c.AddSegment(5, 16); err != nil {
+		t.Fatalf("connection dead after unknown op: %v", err)
+	}
+}

@@ -1,0 +1,221 @@
+package netblock
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"ebslab/internal/storage"
+)
+
+// startServer spins up a server on loopback TCP and returns a connected
+// client plus a cleanup func.
+func startServer(t *testing.T) (*Client, *Server) {
+	t.Helper()
+	bs := storage.NewBlockServer(storage.NewChunkServer(4 << 20))
+	srv := NewServer(bs)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(l)
+	client, err := Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		srv.Close()
+	})
+	return client, srv
+}
+
+func TestRoundTripOverTCP(t *testing.T) {
+	c, srv := startServer(t)
+	if err := c.AddSegment(1, 1024); err != nil {
+		t.Fatalf("AddSegment: %v", err)
+	}
+	if !c.HasSegment(1) {
+		t.Fatal("HasSegment(1) false after add")
+	}
+	if c.HasSegment(2) {
+		t.Fatal("HasSegment(2) true")
+	}
+	data := bytes.Repeat([]byte{0xAB}, storage.BlockSize)
+	if err := c.Write(1, storage.BlockSize, data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := c.Read(1, storage.BlockSize, storage.BlockSize)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	r, w, _, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if r != int64(storage.BlockSize) || w != int64(storage.BlockSize) {
+		t.Fatalf("stats = %d/%d", r, w)
+	}
+	if srv.Requests() < 5 {
+		t.Fatalf("server saw %d requests", srv.Requests())
+	}
+}
+
+func TestRemoteErrorsSurface(t *testing.T) {
+	c, _ := startServer(t)
+	// Write to an unhosted segment.
+	if err := c.Write(9, 0, make([]byte, storage.BlockSize)); err == nil {
+		t.Fatal("write to unhosted segment succeeded")
+	}
+	// Unaligned IO.
+	c.AddSegment(1, 16)
+	if err := c.Write(1, 1, make([]byte, storage.BlockSize)); err == nil {
+		t.Fatal("unaligned write succeeded")
+	}
+	if _, err := c.Read(1, 0, 100); err == nil {
+		t.Fatal("unaligned read succeeded")
+	}
+	// Duplicate segment.
+	if err := c.AddSegment(1, 16); err == nil {
+		t.Fatal("duplicate AddSegment succeeded")
+	}
+	// The connection must survive errors.
+	if err := c.Write(1, 0, make([]byte, storage.BlockSize)); err != nil {
+		t.Fatalf("connection broken after remote errors: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c, _ := startServer(t)
+	if err := c.AddSegment(1, 4096); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const iters = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, storage.BlockSize)
+			for i := range buf {
+				buf[i] = byte(w)
+			}
+			for i := 0; i < iters; i++ {
+				off := int64((w*iters + i)) * storage.BlockSize
+				if err := c.Write(1, off, buf); err != nil {
+					errs <- fmt.Errorf("worker %d write: %w", w, err)
+					return
+				}
+				got, err := c.Read(1, off, storage.BlockSize)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d read: %w", w, err)
+					return
+				}
+				if got[0] != byte(w) {
+					errs <- fmt.Errorf("worker %d read wrong data", w)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolCodecRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	req := &Request{ID: 7, Op: OpWrite, Segment: 3, Offset: 8192, Length: 8, Payload: []byte("abcdefgh")}
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatalf("WriteRequest: %v", err)
+	}
+	got, err := ReadRequest(&buf)
+	if err != nil {
+		t.Fatalf("ReadRequest: %v", err)
+	}
+	if got.ID != 7 || got.Op != OpWrite || got.Segment != 3 || got.Offset != 8192 || string(got.Payload) != "abcdefgh" {
+		t.Fatalf("request round trip: %+v", got)
+	}
+
+	resp := &Response{ID: 7, Status: StatusError, Payload: []byte("boom")}
+	if err := WriteResponse(&buf, resp); err != nil {
+		t.Fatalf("WriteResponse: %v", err)
+	}
+	gr, err := ReadResponse(&buf)
+	if err != nil {
+		t.Fatalf("ReadResponse: %v", err)
+	}
+	if gr.Err() == nil || gr.Err().Error() != "netblock: remote: boom" {
+		t.Fatalf("error decoding: %v", gr.Err())
+	}
+}
+
+func TestProtocolRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	big := make([]byte, maxPayload+1)
+	if err := WriteRequest(&buf, &Request{Op: OpWrite, Length: uint32(len(big)), Payload: big}); err == nil {
+		t.Fatal("oversized request accepted")
+	}
+	if err := WriteResponse(&buf, &Response{Payload: big}); err == nil {
+		t.Fatal("oversized response accepted")
+	}
+	// A malicious length header must be rejected, not allocated.
+	hdr := make([]byte, respHeaderSize)
+	hdr[8] = StatusOK
+	for i := 9; i < 13; i++ {
+		hdr[i] = 0xFF
+	}
+	if _, err := ReadResponse(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("oversized response length accepted")
+	}
+}
+
+func TestWritePayloadLengthMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteRequest(&buf, &Request{Op: OpWrite, Length: 10, Payload: []byte("abc")})
+	if err == nil {
+		t.Fatal("length/payload mismatch accepted")
+	}
+}
+
+func TestClientFailsCleanlyOnServerClose(t *testing.T) {
+	bs := storage.NewBlockServer(storage.NewChunkServer(1 << 20))
+	srv := NewServer(bs)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	c, err := Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddSegment(1, 16)
+	srv.Close()
+	// Subsequent calls fail with an error rather than hanging.
+	if err := c.Write(1, 0, make([]byte, storage.BlockSize)); err == nil {
+		t.Fatal("write succeeded after server close")
+	}
+	c.Close()
+}
+
+func TestOpCodeString(t *testing.T) {
+	for _, op := range []OpCode{OpRead, OpWrite, OpAddSegment, OpHasSegment, OpStats} {
+		if op.String() == "" || op.String()[0] == 'O' {
+			t.Fatalf("OpCode %d string = %q", op, op.String())
+		}
+	}
+	if OpCode(99).String() != "OpCode(99)" {
+		t.Fatal("unknown opcode string")
+	}
+}

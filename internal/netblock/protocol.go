@@ -1,0 +1,187 @@
+// Package netblock is the frontend-network substrate of the EBS stack: the
+// RPC protocol worker threads use to forward block IO to the storage
+// cluster (§2.1: "the WT encapsulates the IO into a RPC request and
+// forwards it to the storage cluster via the frontend network"). It
+// provides a compact length-prefixed binary protocol, a server that exposes
+// a storage.BlockServer over any net.Listener, and a concurrency-safe
+// client with request pipelining.
+package netblock
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// OpCode identifies a request type.
+type OpCode uint8
+
+// Protocol operations.
+const (
+	OpRead OpCode = iota + 1
+	OpWrite
+	OpAddSegment
+	OpHasSegment
+	OpStats
+)
+
+func (o OpCode) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpAddSegment:
+		return "add-segment"
+	case OpHasSegment:
+		return "has-segment"
+	case OpStats:
+		return "stats"
+	}
+	return fmt.Sprintf("OpCode(%d)", uint8(o))
+}
+
+// Status codes in responses.
+const (
+	StatusOK uint8 = iota
+	StatusError
+)
+
+// maxPayload bounds a single request/response payload (one protocol
+// message never exceeds a few MiB of block data).
+const maxPayload = 8 << 20
+
+// header layout (little endian):
+//
+//	request:  id u64 | op u8 | seg i32 | offset i64 | length u32 | payload
+//	response: id u64 | status u8 | length u32 | payload
+const (
+	reqHeaderSize  = 8 + 1 + 4 + 8 + 4
+	respHeaderSize = 8 + 1 + 4
+)
+
+// Request is one RPC from the compute side.
+type Request struct {
+	ID      uint64
+	Op      OpCode
+	Segment int32
+	Offset  int64
+	Length  uint32 // read length, or AddSegment size in blocks
+	Payload []byte // write data
+}
+
+// Response is the storage side's answer.
+type Response struct {
+	ID      uint64
+	Status  uint8
+	Payload []byte // read data, or error text when Status != StatusOK
+}
+
+// Err converts an error response into a Go error.
+func (r *Response) Err() error {
+	if r.Status == StatusOK {
+		return nil
+	}
+	return fmt.Errorf("netblock: remote: %s", r.Payload)
+}
+
+// Errors of the codec layer.
+var (
+	ErrPayloadTooLarge = errors.New("netblock: payload exceeds protocol limit")
+	ErrShortHeader     = errors.New("netblock: short header")
+)
+
+// WriteRequest encodes req to w.
+func WriteRequest(w io.Writer, req *Request) error {
+	if len(req.Payload) > maxPayload {
+		return ErrPayloadTooLarge
+	}
+	var hdr [reqHeaderSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], req.ID)
+	hdr[8] = byte(req.Op)
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(req.Segment))
+	binary.LittleEndian.PutUint64(hdr[13:], uint64(req.Offset))
+	binary.LittleEndian.PutUint32(hdr[21:], req.Length)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	// The payload length is implied: writes carry Length bytes.
+	if req.Op == OpWrite {
+		if uint32(len(req.Payload)) != req.Length {
+			return fmt.Errorf("netblock: write payload %d != length %d", len(req.Payload), req.Length)
+		}
+		if _, err := w.Write(req.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRequest decodes one request from r.
+func ReadRequest(r io.Reader) (*Request, error) {
+	var hdr [reqHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	req := &Request{
+		ID:      binary.LittleEndian.Uint64(hdr[0:]),
+		Op:      OpCode(hdr[8]),
+		Segment: int32(binary.LittleEndian.Uint32(hdr[9:])),
+		Offset:  int64(binary.LittleEndian.Uint64(hdr[13:])),
+		Length:  binary.LittleEndian.Uint32(hdr[21:]),
+	}
+	if req.Length > maxPayload {
+		return nil, ErrPayloadTooLarge
+	}
+	if req.Op == OpWrite {
+		req.Payload = make([]byte, req.Length)
+		if _, err := io.ReadFull(r, req.Payload); err != nil {
+			return nil, err
+		}
+	}
+	return req, nil
+}
+
+// WriteResponse encodes resp to w.
+func WriteResponse(w io.Writer, resp *Response) error {
+	if len(resp.Payload) > maxPayload {
+		return ErrPayloadTooLarge
+	}
+	var hdr [respHeaderSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], resp.ID)
+	hdr[8] = resp.Status
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(resp.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(resp.Payload) > 0 {
+		if _, err := w.Write(resp.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadResponse decodes one response from r.
+func ReadResponse(r io.Reader) (*Response, error) {
+	var hdr [respHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	resp := &Response{
+		ID:     binary.LittleEndian.Uint64(hdr[0:]),
+		Status: hdr[8],
+	}
+	n := binary.LittleEndian.Uint32(hdr[9:])
+	if n > maxPayload {
+		return nil, ErrPayloadTooLarge
+	}
+	if n > 0 {
+		resp.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, resp.Payload); err != nil {
+			return nil, err
+		}
+	}
+	return resp, nil
+}

@@ -1,0 +1,157 @@
+package netblock
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"ebslab/internal/storage"
+)
+
+// Server exposes one storage.BlockServer over a net.Listener. Each
+// connection gets a reader goroutine; requests are executed under a mutex
+// (the BlockServer is single-writer) and responses may be written out of
+// order thanks to request IDs, so slow reads do not head-of-line-block
+// writes from other connections.
+type Server struct {
+	bs *storage.BlockServer
+
+	mu       sync.Mutex // serializes BlockServer access
+	wg       sync.WaitGroup
+	listener net.Listener
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	// Stats (atomic under mu for simplicity).
+	requests  int64
+	errorsOut int64
+}
+
+// NewServer wraps a BlockServer.
+func NewServer(bs *storage.BlockServer) *Server {
+	return &Server{bs: bs, closed: make(chan struct{}), conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections until the listener is closed. It returns the
+// listener's final error (net.ErrClosed after Close).
+func (s *Server) Serve(l net.Listener) error {
+	s.listener = l
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.connMu.Lock()
+			delete(s.conns, conn)
+			s.connMu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes active connections, and waits for the
+// connection goroutines to drain.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		if s.listener != nil {
+			s.listener.Close()
+		}
+		s.connMu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.connMu.Unlock()
+	})
+	s.wg.Wait()
+}
+
+// Requests returns how many requests the server has executed.
+func (s *Server) Requests() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	var writeMu sync.Mutex
+	for {
+		req, err := ReadRequest(conn)
+		if err != nil {
+			return // EOF or broken pipe ends the connection
+		}
+		resp := s.execute(req)
+		writeMu.Lock()
+		err = WriteResponse(conn, resp)
+		writeMu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// execute runs one request against the BlockServer.
+func (s *Server) execute(req *Request) *Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	resp := &Response{ID: req.ID, Status: StatusOK}
+	fail := func(err error) *Response {
+		s.errorsOut++
+		resp.Status = StatusError
+		resp.Payload = []byte(err.Error())
+		return resp
+	}
+	switch req.Op {
+	case OpRead:
+		if req.Length > maxPayload {
+			return fail(ErrPayloadTooLarge)
+		}
+		buf := make([]byte, req.Length)
+		if _, err := s.bs.Read(storage.SegKey(req.Segment), req.Offset, buf); err != nil {
+			return fail(err)
+		}
+		resp.Payload = buf
+	case OpWrite:
+		if err := s.bs.Write(storage.SegKey(req.Segment), req.Offset, req.Payload); err != nil {
+			return fail(err)
+		}
+	case OpAddSegment:
+		size := int64(req.Length) * storage.BlockSize
+		if err := s.bs.AddSegment(storage.SegKey(req.Segment), size); err != nil {
+			return fail(err)
+		}
+	case OpHasSegment:
+		if !s.bs.HasSegment(storage.SegKey(req.Segment)) {
+			return fail(errors.New("segment not hosted"))
+		}
+	case OpStats:
+		r, w, p := s.bs.Traffic()
+		buf := make([]byte, 24)
+		binary.LittleEndian.PutUint64(buf[0:], uint64(r))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(w))
+		binary.LittleEndian.PutUint64(buf[16:], uint64(p))
+		resp.Payload = buf
+	default:
+		return fail(fmt.Errorf("netblock: unknown op %d", req.Op))
+	}
+	return resp
+}

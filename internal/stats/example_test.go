@@ -1,0 +1,40 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"ebslab/internal/stats"
+)
+
+// The paper's spatial-skew measure: the share of traffic carried by the
+// top 1% of entities.
+func ExampleCCR() {
+	traffic := make([]float64, 100)
+	traffic[0] = 80 // one whale
+	for i := 1; i < 100; i++ {
+		traffic[i] = 0.2
+	}
+	fmt.Printf("1%%-CCR = %.1f%%\n", 100*stats.CCR(traffic, 0.01))
+	// Output: 1%-CCR = 80.2%
+}
+
+// The paper's temporal-burstiness measure: peak over mean of a series.
+func ExampleP2A() {
+	series := []float64{1, 1, 1, 1, 16}
+	fmt.Printf("P2A = %.1f\n", stats.P2A(series))
+	// Output: P2A = 4.0
+}
+
+// The normalized coefficient of variation is 1 when all traffic sits on a
+// single worker thread.
+func ExampleNormCoV() {
+	wt := []float64{100, 0, 0, 0}
+	fmt.Printf("WT-CoV = %.2f\n", stats.NormCoV(wt))
+	// Output: WT-CoV = 1.00
+}
+
+// Equation 2: +1 is pure write, -1 pure read.
+func ExampleWrRatio() {
+	fmt.Printf("%.2f %.2f\n", stats.WrRatio(2, 1), stats.WrRatio(0, 5))
+	// Output: 0.33 -1.00
+}

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); !almostEqual(got, 1.5, 1e-12) {
+		t.Errorf("interpolated median = %v, want 1.5", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+	if !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(xs, 1.1)) {
+		t.Error("Quantile outside [0,1] should be NaN")
+	}
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("Quantile of singleton = %v, want 7", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("Quantile mutated its input: %v", xs)
+	}
+}
+
+func TestQuantilesMatchQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 137)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	qs := []float64{0, 0.01, 0.5, 0.9, 0.99, 1, -1}
+	got := Quantiles(xs, qs)
+	for i, q := range qs {
+		want := Quantile(xs, q)
+		if !almostEqual(got[i], want, 1e-12) {
+			t.Errorf("Quantiles[%v] = %v, want %v", q, got[i], want)
+		}
+	}
+}
+
+func TestQuantilePropertyWithinRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		q := rng.Float64()
+		v := Quantile(xs, q)
+		return v >= Min(xs)-1e-9 && v <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{9, 1, 5}); got != 5 {
+		t.Fatalf("Median(odd) = %v, want 5", got)
+	}
+	if got := Median([]float64{4, 2}); got != 3 {
+		t.Fatalf("Median(even) = %v, want 3", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatalf("CDF length = %d, want 3", len(pts))
+	}
+	if pts[0].Value != 1 || !almostEqual(pts[0].Fraction, 1.0/3.0, 1e-12) {
+		t.Errorf("first CDF point = %+v", pts[0])
+	}
+	if pts[2].Value != 3 || pts[2].Fraction != 1 {
+		t.Errorf("last CDF point = %+v", pts[2])
+	}
+	if CDF(nil) != nil {
+		t.Error("CDF(nil) should be nil")
+	}
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].Value < pts[j].Value }) {
+		t.Error("CDF points not sorted")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := CDFAt(xs, 2.5); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("CDFAt(2.5) = %v, want 0.5", got)
+	}
+	if got := CDFAt(xs, 0); got != 0 {
+		t.Fatalf("CDFAt(0) = %v, want 0", got)
+	}
+	if got := CDFAt(xs, 10); got != 1 {
+		t.Fatalf("CDFAt(10) = %v, want 1", got)
+	}
+	if !math.IsNaN(CDFAt(nil, 1)) {
+		t.Fatal("CDFAt(nil) should be NaN")
+	}
+}
+
+func TestFractionWhere(t *testing.T) {
+	xs := []float64{-1, 0, 1, 2}
+	got := FractionWhere(xs, func(x float64) bool { return x > 0 })
+	if !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("FractionWhere = %v, want 0.5", got)
+	}
+	if !math.IsNaN(FractionWhere(nil, func(float64) bool { return true })) {
+		t.Fatal("FractionWhere(nil) should be NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, edges := Histogram([]float64{0, 0.5, 1, 1.5, 2}, 2)
+	if len(counts) != 2 || len(edges) != 3 {
+		t.Fatalf("Histogram dims = %d/%d", len(counts), len(edges))
+	}
+	if counts[0] != 2 || counts[1] != 3 {
+		t.Fatalf("counts = %v, want [2 3]", counts)
+	}
+	if edges[0] != 0 || edges[2] != 2 {
+		t.Fatalf("edges = %v", edges)
+	}
+	// Degenerate range.
+	counts, _ = Histogram([]float64{5, 5, 5}, 4)
+	if counts[0] != 3 {
+		t.Fatalf("degenerate histogram counts = %v", counts)
+	}
+	if c, e := Histogram(nil, 3); c != nil || e != nil {
+		t.Fatal("Histogram(nil) should be nil,nil")
+	}
+	if c, e := Histogram([]float64{1}, 0); c != nil || e != nil {
+		t.Fatal("Histogram with 0 bins should be nil,nil")
+	}
+}
+
+func TestHistogramPropertyTotalPreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		counts, _ := Histogram(xs, 1+rng.Intn(20))
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropNaN(t *testing.T) {
+	xs := []float64{1, math.NaN(), 2, math.NaN()}
+	got := DropNaN(xs)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("DropNaN = %v", got)
+	}
+}

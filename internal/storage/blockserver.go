@@ -1,0 +1,170 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SegKey names a segment hosted on a BlockServer. Callers typically use the
+// topology's SegmentID values, but the storage layer does not depend on the
+// cluster package.
+type SegKey int32
+
+// BlockServer is the forwarding-layer process of one storage node (§2.1):
+// it hosts segment files, translates segment-relative block IO into
+// ChunkServer appends/reads, garbage-collects its node's chunks, serves
+// sequential large reads from a prefetch cache, and supports migrating
+// segments to another BlockServer.
+type BlockServer struct {
+	cs       *ChunkServer
+	segments map[SegKey]*SegmentFile
+	prefetch *Prefetcher
+
+	// Traffic counters since creation (bytes).
+	readBytes, writeBytes int64
+	prefetchHits          int64
+}
+
+// NewBlockServer creates a BlockServer over its co-located ChunkServer.
+func NewBlockServer(cs *ChunkServer) *BlockServer {
+	return &BlockServer{
+		cs:       cs,
+		segments: make(map[SegKey]*SegmentFile),
+		prefetch: NewPrefetcher(DefaultPrefetchConfig()),
+	}
+}
+
+// ChunkServer exposes the underlying engine (for stats and tests).
+func (bs *BlockServer) ChunkServer() *ChunkServer { return bs.cs }
+
+// AddSegment creates an empty segment file of the given size. It fails if
+// the key already exists.
+func (bs *BlockServer) AddSegment(key SegKey, size int64) error {
+	if _, ok := bs.segments[key]; ok {
+		return fmt.Errorf("storage: segment %d already hosted", key)
+	}
+	sf, err := NewSegmentFile(size)
+	if err != nil {
+		return err
+	}
+	bs.segments[key] = sf
+	return nil
+}
+
+// HasSegment reports whether key is hosted here.
+func (bs *BlockServer) HasSegment(key SegKey) bool {
+	_, ok := bs.segments[key]
+	return ok
+}
+
+// Segments returns the hosted segment keys in ascending order.
+func (bs *BlockServer) Segments() []SegKey {
+	out := make([]SegKey, 0, len(bs.segments))
+	for k := range bs.segments {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Write stores data at the segment-relative offset.
+func (bs *BlockServer) Write(key SegKey, off int64, data []byte) error {
+	sf, ok := bs.segments[key]
+	if !ok {
+		return fmt.Errorf("storage: write to unhosted segment %d", key)
+	}
+	if err := sf.Write(bs.cs, off, data); err != nil {
+		return err
+	}
+	bs.writeBytes += int64(len(data))
+	bs.prefetch.Invalidate(key, off, int64(len(data)))
+	return nil
+}
+
+// Read fills dst from the segment-relative offset. Sequential large reads
+// are detected per segment; once a run is established, subsequent data is
+// prefetched so the ChunkServer round trip is skipped (§2.2). Read reports
+// whether the request was served from the prefetch cache.
+func (bs *BlockServer) Read(key SegKey, off int64, dst []byte) (fromCache bool, err error) {
+	sf, ok := bs.segments[key]
+	if !ok {
+		return false, fmt.Errorf("storage: read from unhosted segment %d", key)
+	}
+	bs.readBytes += int64(len(dst))
+	if bs.prefetch.Serve(key, off, dst) {
+		bs.prefetchHits += int64(len(dst))
+		bs.prefetch.Observe(key, off, int64(len(dst)))
+		return true, nil
+	}
+	if err := sf.Read(bs.cs, off, dst); err != nil {
+		return false, err
+	}
+	// Feed the sequential detector and, if it fires, load ahead.
+	if next, n := bs.prefetch.Observe(key, off, int64(len(dst))); n > 0 {
+		if next+n > sf.Size() {
+			n = sf.Size() - next
+		}
+		if n > 0 {
+			buf := make([]byte, n)
+			if err := sf.Read(bs.cs, next, buf); err == nil {
+				bs.prefetch.Fill(key, next, buf)
+			}
+		}
+	}
+	return false, nil
+}
+
+// CollectGarbage rewrites live data out of every sealed chunk whose garbage
+// ratio exceeds threshold, then frees those chunks. It returns the number of
+// chunks reclaimed.
+func (bs *BlockServer) CollectGarbage(threshold float64) (int, error) {
+	victims := bs.cs.SealedChunksAbove(threshold)
+	for _, id := range victims {
+		for _, sf := range bs.segments {
+			if _, err := sf.rewriteChunk(bs.cs, id); err != nil {
+				return 0, err
+			}
+		}
+		bs.cs.Free(id)
+	}
+	return len(victims), nil
+}
+
+// MigrateSegment moves the segment to dst: its live data is read here and
+// re-appended on dst's ChunkServer, the local extents are marked dead, and
+// the local file is dropped. This models the paper's balancer migrations
+// ("the migration temporarily halts the service", §6.1.1 — the simulator
+// accounts that cost separately).
+func (bs *BlockServer) MigrateSegment(key SegKey, dst *BlockServer) error {
+	sf, ok := bs.segments[key]
+	if !ok {
+		return fmt.Errorf("storage: migrate unhosted segment %d", key)
+	}
+	if dst == bs {
+		return fmt.Errorf("storage: segment %d migration to self", key)
+	}
+	if err := dst.AddSegment(key, sf.size); err != nil {
+		return err
+	}
+	dstFile := dst.segments[key]
+	buf := make([]byte, BlockSize)
+	for blockOff, br := range sf.blocks {
+		src, err := bs.cs.ReadExtent(ExtentRef{Chunk: br.ref.Chunk, Offset: br.ref.Offset + int64(br.off), Len: BlockSize})
+		if err != nil {
+			return fmt.Errorf("storage: migrate read: %w", err)
+		}
+		copy(buf, src)
+		if err := dstFile.Write(dst.cs, blockOff, buf); err != nil {
+			return fmt.Errorf("storage: migrate write: %w", err)
+		}
+		bs.cs.MarkDead(ExtentRef{Chunk: br.ref.Chunk, Offset: br.ref.Offset + int64(br.off), Len: BlockSize})
+	}
+	delete(bs.segments, key)
+	bs.prefetch.Drop(key)
+	return nil
+}
+
+// Traffic returns cumulative read/write byte counters and prefetch hits.
+func (bs *BlockServer) Traffic() (readBytes, writeBytes, prefetchHitBytes int64) {
+	return bs.readBytes, bs.writeBytes, bs.prefetchHits
+}

@@ -1,0 +1,163 @@
+// Package storage implements the storage-cluster substrate the paper's EBS
+// runs on (§2.1): a node-level append-only storage engine (ChunkServer), a
+// log-structured segment file abstraction with block-granular indexing, and
+// a BlockServer that translates block IO into file operations, migrates
+// segments between nodes for load balancing, performs garbage collection of
+// the append-only chunks, and prefetches sequential large reads (§2.2).
+//
+// The engine holds data in memory; it is a functional substrate for
+// correctness-level simulation and testing, not a persistence layer.
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ChunkID names one append-only chunk within a ChunkServer.
+type ChunkID int32
+
+// ExtentRef locates a contiguous byte extent within a chunk.
+type ExtentRef struct {
+	Chunk  ChunkID
+	Offset int64
+	Len    int32
+}
+
+// Errors returned by the storage engine.
+var (
+	ErrExtentTooLarge = errors.New("storage: extent exceeds chunk size")
+	ErrBadExtent      = errors.New("storage: extent out of bounds")
+	ErrChunkFreed     = errors.New("storage: chunk already freed")
+)
+
+// chunk is one append-only unit of the ChunkServer.
+type chunk struct {
+	data      []byte
+	sealed    bool
+	freed     bool
+	liveBytes int64 // bytes appended minus bytes marked dead
+	deadBytes int64
+}
+
+// ChunkServer is the node-level append-only storage engine. All methods are
+// single-goroutine; callers that share a ChunkServer across goroutines must
+// serialize access (the simulator does).
+type ChunkServer struct {
+	chunkSize int64
+	chunks    []*chunk
+	open      ChunkID // index of the currently-open chunk, -1 if none
+}
+
+// NewChunkServer creates an engine whose chunks hold chunkSize bytes each.
+func NewChunkServer(chunkSize int64) *ChunkServer {
+	if chunkSize <= 0 {
+		panic("storage: chunk size must be positive")
+	}
+	return &ChunkServer{chunkSize: chunkSize, open: -1}
+}
+
+// Append writes data to the open chunk (sealing and rolling over as needed)
+// and returns a stable reference to it.
+func (cs *ChunkServer) Append(data []byte) (ExtentRef, error) {
+	if int64(len(data)) > cs.chunkSize {
+		return ExtentRef{}, fmt.Errorf("%w: %d > %d", ErrExtentTooLarge, len(data), cs.chunkSize)
+	}
+	if cs.open < 0 || int64(len(cs.chunks[cs.open].data))+int64(len(data)) > cs.chunkSize {
+		if cs.open >= 0 {
+			cs.chunks[cs.open].sealed = true
+		}
+		cs.chunks = append(cs.chunks, &chunk{data: make([]byte, 0, cs.chunkSize)})
+		cs.open = ChunkID(len(cs.chunks) - 1)
+	}
+	c := cs.chunks[cs.open]
+	ref := ExtentRef{Chunk: cs.open, Offset: int64(len(c.data)), Len: int32(len(data))}
+	c.data = append(c.data, data...)
+	c.liveBytes += int64(len(data))
+	return ref, nil
+}
+
+// ReadExtent returns the bytes of ref. The returned slice aliases engine
+// memory and must not be modified.
+func (cs *ChunkServer) ReadExtent(ref ExtentRef) ([]byte, error) {
+	if int(ref.Chunk) < 0 || int(ref.Chunk) >= len(cs.chunks) {
+		return nil, ErrBadExtent
+	}
+	c := cs.chunks[ref.Chunk]
+	if c.freed {
+		return nil, ErrChunkFreed
+	}
+	end := ref.Offset + int64(ref.Len)
+	if ref.Offset < 0 || end > int64(len(c.data)) {
+		return nil, ErrBadExtent
+	}
+	return c.data[ref.Offset:end], nil
+}
+
+// MarkDead records that ref's bytes are no longer referenced; garbage
+// collection uses the resulting per-chunk garbage ratios.
+func (cs *ChunkServer) MarkDead(ref ExtentRef) {
+	if int(ref.Chunk) < 0 || int(ref.Chunk) >= len(cs.chunks) {
+		return
+	}
+	c := cs.chunks[ref.Chunk]
+	c.liveBytes -= int64(ref.Len)
+	c.deadBytes += int64(ref.Len)
+}
+
+// GarbageRatio returns the fraction of chunk bytes that are dead, or 0 for
+// an empty chunk.
+func (cs *ChunkServer) GarbageRatio(id ChunkID) float64 {
+	c := cs.chunks[id]
+	total := c.liveBytes + c.deadBytes
+	if total == 0 {
+		return 0
+	}
+	return float64(c.deadBytes) / float64(total)
+}
+
+// SealedChunksAbove returns sealed, unfreed chunks whose garbage ratio
+// exceeds threshold; these are GC candidates. The open chunk is never a
+// candidate.
+func (cs *ChunkServer) SealedChunksAbove(threshold float64) []ChunkID {
+	var out []ChunkID
+	for i, c := range cs.chunks {
+		if c.sealed && !c.freed && cs.GarbageRatio(ChunkID(i)) > threshold {
+			out = append(out, ChunkID(i))
+		}
+	}
+	return out
+}
+
+// Free releases a chunk after GC rewrote its live data elsewhere. Reading a
+// freed chunk fails with ErrChunkFreed.
+func (cs *ChunkServer) Free(id ChunkID) {
+	c := cs.chunks[id]
+	c.freed = true
+	c.data = nil
+	c.liveBytes = 0
+	c.deadBytes = 0
+}
+
+// Stats summarizes engine space accounting.
+type Stats struct {
+	Chunks     int
+	FreedChunk int
+	LiveBytes  int64
+	DeadBytes  int64
+}
+
+// Stats returns current space accounting.
+func (cs *ChunkServer) Stats() Stats {
+	var s Stats
+	s.Chunks = len(cs.chunks)
+	for _, c := range cs.chunks {
+		if c.freed {
+			s.FreedChunk++
+			continue
+		}
+		s.LiveBytes += c.liveBytes
+		s.DeadBytes += c.deadBytes
+	}
+	return s
+}

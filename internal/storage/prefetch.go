@@ -1,0 +1,113 @@
+package storage
+
+// PrefetchConfig tunes the BlockServer's sequential-read prefetcher (§2.2:
+// "the BS detects whether there exists continuous large block reads on a
+// per-segment basis, and if so, the BS will load the subsequent data from
+// the CS into the local memory").
+type PrefetchConfig struct {
+	// MinIOSize is the smallest read considered "large" for detection.
+	MinIOSize int64
+	// TriggerRuns is how many back-to-back sequential reads arm prefetching.
+	TriggerRuns int
+	// WindowBytes is how far ahead to load once armed.
+	WindowBytes int64
+}
+
+// DefaultPrefetchConfig mirrors typical readahead tuning: 128 KiB "large"
+// IOs, armed after 3 sequential hits, loading 4 MiB ahead.
+func DefaultPrefetchConfig() PrefetchConfig {
+	return PrefetchConfig{MinIOSize: 128 << 10, TriggerRuns: 3, WindowBytes: 4 << 20}
+}
+
+// segState is the per-segment detector and cache.
+type segState struct {
+	nextExpected int64 // offset the next sequential read would start at
+	runs         int   // consecutive sequential large reads seen
+
+	bufStart int64
+	buf      []byte // prefetched bytes covering [bufStart, bufStart+len(buf))
+}
+
+// Prefetcher implements per-segment sequential-read detection and a single
+// read-ahead window per segment.
+type Prefetcher struct {
+	cfg  PrefetchConfig
+	segs map[SegKey]*segState
+}
+
+// NewPrefetcher creates a prefetcher with the given tuning.
+func NewPrefetcher(cfg PrefetchConfig) *Prefetcher {
+	return &Prefetcher{cfg: cfg, segs: make(map[SegKey]*segState)}
+}
+
+// Serve copies prefetched bytes into dst when the whole request lies inside
+// the segment's read-ahead window, reporting whether it did.
+func (p *Prefetcher) Serve(key SegKey, off int64, dst []byte) bool {
+	st, ok := p.segs[key]
+	if !ok || st.buf == nil {
+		return false
+	}
+	end := off + int64(len(dst))
+	if off < st.bufStart || end > st.bufStart+int64(len(st.buf)) {
+		return false
+	}
+	copy(dst, st.buf[off-st.bufStart:])
+	return true
+}
+
+// Observe feeds one read into the sequential detector. When the detector
+// arms (TriggerRuns sequential large reads) it returns the window to load:
+// the start offset and a positive byte count. Otherwise n is zero.
+func (p *Prefetcher) Observe(key SegKey, off, size int64) (next int64, n int64) {
+	st, ok := p.segs[key]
+	if !ok {
+		st = &segState{}
+		p.segs[key] = st
+	}
+	if size >= p.cfg.MinIOSize && off == st.nextExpected {
+		st.runs++
+	} else if size >= p.cfg.MinIOSize {
+		st.runs = 1
+	} else {
+		st.runs = 0
+	}
+	st.nextExpected = off + size
+	if st.runs >= p.cfg.TriggerRuns {
+		// Arm (or extend) the window right after this read, unless the
+		// current buffer already covers it.
+		start := off + size
+		if st.buf != nil && start >= st.bufStart && start < st.bufStart+int64(len(st.buf)) {
+			return 0, 0
+		}
+		return start, p.cfg.WindowBytes
+	}
+	return 0, 0
+}
+
+// Fill installs freshly loaded read-ahead bytes for the segment.
+func (p *Prefetcher) Fill(key SegKey, start int64, data []byte) {
+	st, ok := p.segs[key]
+	if !ok {
+		st = &segState{}
+		p.segs[key] = st
+	}
+	st.bufStart = start
+	st.buf = data
+}
+
+// Invalidate discards any cached window overlapping a written range, keeping
+// the cache coherent with writes.
+func (p *Prefetcher) Invalidate(key SegKey, off, size int64) {
+	st, ok := p.segs[key]
+	if !ok || st.buf == nil {
+		return
+	}
+	if off < st.bufStart+int64(len(st.buf)) && off+size > st.bufStart {
+		st.buf = nil
+	}
+}
+
+// Drop forgets all state for a segment (used when it migrates away).
+func (p *Prefetcher) Drop(key SegKey) {
+	delete(p.segs, key)
+}

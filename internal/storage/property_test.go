@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBlockServerPropertyRandomOpsWithGCAndMigration is the heavyweight
+// substrate invariant: under any interleaving of writes, reads, garbage
+// collections, and segment migrations across two BlockServers, every
+// segment behaves exactly like a sparse byte array.
+func TestBlockServerPropertyRandomOpsWithGCAndMigration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := []*BlockServer{
+			NewBlockServer(NewChunkServer(32 * BlockSize)),
+			NewBlockServer(NewChunkServer(32 * BlockSize)),
+		}
+		const nSegs = 3
+		const blocksPerSeg = 16
+		home := make([]int, nSegs) // which node hosts each segment
+		shadow := make([][]byte, nSegs)
+		for s := 0; s < nSegs; s++ {
+			home[s] = rng.Intn(2)
+			if err := nodes[home[s]].AddSegment(SegKey(s), blocksPerSeg*BlockSize); err != nil {
+				return false
+			}
+			shadow[s] = make([]byte, blocksPerSeg*BlockSize)
+		}
+		for op := 0; op < 120; op++ {
+			s := rng.Intn(nSegs)
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // write
+				block := rng.Intn(blocksPerSeg)
+				n := 1 + rng.Intn(2)
+				if block+n > blocksPerSeg {
+					n = blocksPerSeg - block
+				}
+				data := make([]byte, n*BlockSize)
+				rng.Read(data)
+				off := int64(block) * BlockSize
+				if err := nodes[home[s]].Write(SegKey(s), off, data); err != nil {
+					t.Logf("seed %d write: %v", seed, err)
+					return false
+				}
+				copy(shadow[s][off:], data)
+			case 4, 5, 6: // read + verify
+				block := rng.Intn(blocksPerSeg)
+				off := int64(block) * BlockSize
+				got := make([]byte, BlockSize)
+				if _, err := nodes[home[s]].Read(SegKey(s), off, got); err != nil {
+					t.Logf("seed %d read: %v", seed, err)
+					return false
+				}
+				if !bytes.Equal(got, shadow[s][off:off+BlockSize]) {
+					t.Logf("seed %d: data mismatch seg %d block %d", seed, s, block)
+					return false
+				}
+			case 7, 8: // garbage collect the segment's home node
+				if _, err := nodes[home[s]].CollectGarbage(0.3); err != nil {
+					t.Logf("seed %d gc: %v", seed, err)
+					return false
+				}
+			case 9: // migrate to the other node
+				dst := 1 - home[s]
+				if err := nodes[home[s]].MigrateSegment(SegKey(s), nodes[dst]); err != nil {
+					t.Logf("seed %d migrate: %v", seed, err)
+					return false
+				}
+				home[s] = dst
+			}
+		}
+		// Final full verification of every segment.
+		for s := 0; s < nSegs; s++ {
+			got := make([]byte, blocksPerSeg*BlockSize)
+			if _, err := nodes[home[s]].Read(SegKey(s), 0, got); err != nil {
+				t.Logf("seed %d final read: %v", seed, err)
+				return false
+			}
+			if !bytes.Equal(got, shadow[s]) {
+				t.Logf("seed %d: final mismatch seg %d", seed, s)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGCReclaimsSpaceUnderChurn verifies the space accounting: sustained
+// overwrites bound live bytes while GC keeps reclaiming chunks.
+func TestGCReclaimsSpaceUnderChurn(t *testing.T) {
+	cs := NewChunkServer(16 * BlockSize)
+	bs := NewBlockServer(cs)
+	if err := bs.AddSegment(1, 8*BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, BlockSize)
+	var reclaimed int
+	for round := 0; round < 50; round++ {
+		for b := 0; b < 8; b++ {
+			fill(data, byte(round+b))
+			if err := bs.Write(1, int64(b)*BlockSize, data); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+		n, err := bs.CollectGarbage(0.3)
+		if err != nil {
+			t.Fatalf("gc round %d: %v", round, err)
+		}
+		reclaimed += n
+	}
+	if reclaimed < 10 {
+		t.Fatalf("GC reclaimed only %d chunks under heavy churn", reclaimed)
+	}
+	st := cs.Stats()
+	// Live bytes can never exceed the logical segment size.
+	if st.LiveBytes > 8*BlockSize {
+		t.Fatalf("live bytes %d exceed logical size", st.LiveBytes)
+	}
+	if st.FreedChunk == 0 {
+		t.Fatal("no chunks freed")
+	}
+	// Data still correct.
+	got := make([]byte, BlockSize)
+	want := make([]byte, BlockSize)
+	fill(want, byte(49+7))
+	if _, err := bs.Read(1, 7*BlockSize, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("data corrupted under churn")
+	}
+}
+
+// TestMigrationChainAcrossManyNodes pushes one segment through a chain of
+// nodes and verifies content at each hop.
+func TestMigrationChainAcrossManyNodes(t *testing.T) {
+	const hops = 6
+	nodes := make([]*BlockServer, hops)
+	for i := range nodes {
+		nodes[i] = NewBlockServer(NewChunkServer(64 * BlockSize))
+	}
+	if err := nodes[0].AddSegment(1, 8*BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 8*BlockSize)
+	for i := range want {
+		want[i] = byte(i * 7)
+	}
+	if err := nodes[0].Write(1, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < hops; i++ {
+		if err := nodes[i-1].MigrateSegment(1, nodes[i]); err != nil {
+			t.Fatalf("hop %d: %v", i, err)
+		}
+		got := make([]byte, 8*BlockSize)
+		if _, err := nodes[i].Read(1, 0, got); err != nil {
+			t.Fatalf("hop %d read: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("hop %d: content diverged", i)
+		}
+	}
+	// Every earlier node must have relinquished the segment.
+	for i := 0; i < hops-1; i++ {
+		if nodes[i].HasSegment(1) {
+			t.Fatalf("node %d still hosts the segment", i)
+		}
+	}
+}
+
+func ExampleBlockServer() {
+	bs := NewBlockServer(NewChunkServer(1 << 20))
+	_ = bs.AddSegment(1, 1<<20)
+	data := bytes.Repeat([]byte{7}, BlockSize)
+	_ = bs.Write(1, 0, data)
+	out := make([]byte, BlockSize)
+	_, _ = bs.Read(1, 0, out)
+	fmt.Println(bytes.Equal(out, data))
+	// Output: true
+}

@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BlockSize is the granularity of the segment file's LBA index (4 KiB, the
+// usual virtual-block size).
+const BlockSize = 4 << 10
+
+// blockRef locates one logical block's current data: a byte position inside
+// an appended extent.
+type blockRef struct {
+	ref ExtentRef
+	off int32 // offset of this block within the extent
+}
+
+// SegmentFile is the BlockServer-side representation of one 32 GiB (or
+// smaller) segment: a log-structured file mapping block-aligned logical
+// offsets to extents appended on the ChunkServer. Unwritten blocks read as
+// zeroes, like a sparse file.
+type SegmentFile struct {
+	size   int64 // logical size in bytes
+	blocks map[int64]blockRef
+}
+
+// NewSegmentFile creates an empty segment file of the given logical size,
+// which must be a positive multiple of BlockSize.
+func NewSegmentFile(size int64) (*SegmentFile, error) {
+	if size <= 0 || size%BlockSize != 0 {
+		return nil, fmt.Errorf("storage: segment size %d must be a positive multiple of %d", size, BlockSize)
+	}
+	return &SegmentFile{size: size, blocks: make(map[int64]blockRef)}, nil
+}
+
+// Size returns the logical size of the segment in bytes.
+func (sf *SegmentFile) Size() int64 { return sf.size }
+
+// WrittenBlocks returns how many distinct blocks have been written.
+func (sf *SegmentFile) WrittenBlocks() int { return len(sf.blocks) }
+
+// errAlignment is returned for IO that is not block aligned.
+var errAlignment = errors.New("storage: IO must be block-aligned")
+
+// checkRange validates an IO against the segment bounds and alignment.
+func (sf *SegmentFile) checkRange(off int64, n int) error {
+	if off%BlockSize != 0 || n%BlockSize != 0 || n == 0 {
+		return fmt.Errorf("%w: off=%d len=%d", errAlignment, off, n)
+	}
+	if off < 0 || off+int64(n) > sf.size {
+		return fmt.Errorf("storage: IO [%d,%d) outside segment size %d", off, off+int64(n), sf.size)
+	}
+	return nil
+}
+
+// Write appends data for the block range starting at off to cs and updates
+// the index, marking superseded extents dead.
+func (sf *SegmentFile) Write(cs *ChunkServer, off int64, data []byte) error {
+	if err := sf.checkRange(off, len(data)); err != nil {
+		return err
+	}
+	ref, err := cs.Append(data)
+	if err != nil {
+		return err
+	}
+	for b := 0; b < len(data)/BlockSize; b++ {
+		blockOff := off + int64(b)*BlockSize
+		if old, ok := sf.blocks[blockOff]; ok {
+			cs.MarkDead(ExtentRef{Chunk: old.ref.Chunk, Offset: old.ref.Offset + int64(old.off), Len: BlockSize})
+		}
+		sf.blocks[blockOff] = blockRef{ref: ref, off: int32(b * BlockSize)}
+	}
+	return nil
+}
+
+// Read fills dst with the segment content at off. Unwritten blocks read as
+// zeroes. len(dst) must be block aligned.
+func (sf *SegmentFile) Read(cs *ChunkServer, off int64, dst []byte) error {
+	if err := sf.checkRange(off, len(dst)); err != nil {
+		return err
+	}
+	for b := 0; b < len(dst)/BlockSize; b++ {
+		blockOff := off + int64(b)*BlockSize
+		out := dst[b*BlockSize : (b+1)*BlockSize]
+		br, ok := sf.blocks[blockOff]
+		if !ok {
+			for i := range out {
+				out[i] = 0
+			}
+			continue
+		}
+		src, err := cs.ReadExtent(ExtentRef{Chunk: br.ref.Chunk, Offset: br.ref.Offset + int64(br.off), Len: BlockSize})
+		if err != nil {
+			return fmt.Errorf("storage: segment read at %d: %w", blockOff, err)
+		}
+		copy(out, src)
+	}
+	return nil
+}
+
+// rewriteChunk re-appends every live block of sf that currently lives in the
+// given chunk, so the chunk can be freed. It returns the number of blocks
+// moved.
+func (sf *SegmentFile) rewriteChunk(cs *ChunkServer, id ChunkID) (int, error) {
+	var moved int
+	for blockOff, br := range sf.blocks {
+		if br.ref.Chunk != id {
+			continue
+		}
+		data, err := cs.ReadExtent(ExtentRef{Chunk: br.ref.Chunk, Offset: br.ref.Offset + int64(br.off), Len: BlockSize})
+		if err != nil {
+			return moved, fmt.Errorf("storage: GC read: %w", err)
+		}
+		newRef, err := cs.Append(data)
+		if err != nil {
+			return moved, fmt.Errorf("storage: GC append: %w", err)
+		}
+		sf.blocks[blockOff] = blockRef{ref: newRef, off: 0}
+		moved++
+	}
+	return moved, nil
+}

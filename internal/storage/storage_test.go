@@ -1,0 +1,402 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func fill(b []byte, seed byte) {
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+}
+
+func TestChunkServerAppendRead(t *testing.T) {
+	cs := NewChunkServer(1 << 20)
+	data := make([]byte, 4096)
+	fill(data, 1)
+	ref, err := cs.Append(data)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	got, err := cs.ReadExtent(ref)
+	if err != nil {
+		t.Fatalf("ReadExtent: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read data differs from written data")
+	}
+}
+
+func TestChunkServerRollsOver(t *testing.T) {
+	cs := NewChunkServer(10_000)
+	data := make([]byte, 4096)
+	var refs []ExtentRef
+	for i := 0; i < 5; i++ {
+		ref, err := cs.Append(data)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		refs = append(refs, ref)
+	}
+	// 10k chunk holds two 4k extents: five appends need three chunks.
+	if s := cs.Stats(); s.Chunks != 3 {
+		t.Fatalf("chunks = %d, want 3", s.Chunks)
+	}
+	if refs[0].Chunk == refs[2].Chunk {
+		t.Fatal("third extent should be in a new chunk")
+	}
+}
+
+func TestChunkServerRejectsOversized(t *testing.T) {
+	cs := NewChunkServer(1024)
+	if _, err := cs.Append(make([]byte, 2048)); !errors.Is(err, ErrExtentTooLarge) {
+		t.Fatalf("oversized append error = %v, want ErrExtentTooLarge", err)
+	}
+}
+
+func TestChunkServerBadExtent(t *testing.T) {
+	cs := NewChunkServer(1024)
+	if _, err := cs.ReadExtent(ExtentRef{Chunk: 3}); !errors.Is(err, ErrBadExtent) {
+		t.Fatalf("bad chunk read error = %v", err)
+	}
+	ref, _ := cs.Append(make([]byte, 100))
+	ref.Len = 500
+	if _, err := cs.ReadExtent(ref); !errors.Is(err, ErrBadExtent) {
+		t.Fatalf("overlong extent read error = %v", err)
+	}
+}
+
+func TestGarbageAccounting(t *testing.T) {
+	cs := NewChunkServer(1 << 20)
+	a, _ := cs.Append(make([]byte, 1000))
+	cs.Append(make([]byte, 1000))
+	if r := cs.GarbageRatio(a.Chunk); r != 0 {
+		t.Fatalf("fresh garbage ratio = %v", r)
+	}
+	cs.MarkDead(a)
+	if r := cs.GarbageRatio(a.Chunk); r != 0.5 {
+		t.Fatalf("garbage ratio = %v, want 0.5", r)
+	}
+	s := cs.Stats()
+	if s.LiveBytes != 1000 || s.DeadBytes != 1000 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFreeChunk(t *testing.T) {
+	cs := NewChunkServer(1024)
+	ref, _ := cs.Append(make([]byte, 512))
+	cs.Free(ref.Chunk)
+	if _, err := cs.ReadExtent(ref); !errors.Is(err, ErrChunkFreed) {
+		t.Fatalf("read of freed chunk error = %v", err)
+	}
+	if s := cs.Stats(); s.FreedChunk != 1 {
+		t.Fatalf("freed chunks = %d", s.FreedChunk)
+	}
+}
+
+func TestSegmentFileReadWrite(t *testing.T) {
+	cs := NewChunkServer(1 << 20)
+	sf, err := NewSegmentFile(1 << 20)
+	if err != nil {
+		t.Fatalf("NewSegmentFile: %v", err)
+	}
+	data := make([]byte, 2*BlockSize)
+	fill(data, 7)
+	if err := sf.Write(cs, BlockSize, data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := make([]byte, 2*BlockSize)
+	if err := sf.Read(cs, BlockSize, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read-back mismatch")
+	}
+	// Unwritten block reads as zeroes.
+	zero := make([]byte, BlockSize)
+	if err := sf.Read(cs, 0, zero); err != nil {
+		t.Fatalf("Read hole: %v", err)
+	}
+	for _, b := range zero {
+		if b != 0 {
+			t.Fatal("hole not zero-filled")
+		}
+	}
+	if sf.WrittenBlocks() != 2 {
+		t.Fatalf("WrittenBlocks = %d, want 2", sf.WrittenBlocks())
+	}
+}
+
+func TestSegmentFileOverwriteMarksDead(t *testing.T) {
+	cs := NewChunkServer(1 << 20)
+	sf, _ := NewSegmentFile(1 << 20)
+	data := make([]byte, BlockSize)
+	fill(data, 1)
+	sf.Write(cs, 0, data)
+	fill(data, 2)
+	sf.Write(cs, 0, data)
+	s := cs.Stats()
+	if s.DeadBytes != BlockSize {
+		t.Fatalf("dead bytes = %d, want %d", s.DeadBytes, BlockSize)
+	}
+	got := make([]byte, BlockSize)
+	sf.Read(cs, 0, got)
+	if got[0] != 2 {
+		t.Fatal("overwrite not visible")
+	}
+}
+
+func TestSegmentFileRejectsBadIO(t *testing.T) {
+	cs := NewChunkServer(1 << 20)
+	sf, _ := NewSegmentFile(1 << 20)
+	if err := sf.Write(cs, 1, make([]byte, BlockSize)); err == nil {
+		t.Fatal("unaligned offset accepted")
+	}
+	if err := sf.Write(cs, 0, make([]byte, 100)); err == nil {
+		t.Fatal("unaligned size accepted")
+	}
+	if err := sf.Write(cs, 1<<20, make([]byte, BlockSize)); err == nil {
+		t.Fatal("out-of-bounds write accepted")
+	}
+	if err := sf.Read(cs, -4096, make([]byte, BlockSize)); err == nil {
+		t.Fatal("negative read accepted")
+	}
+	if _, err := NewSegmentFile(100); err == nil {
+		t.Fatal("unaligned segment size accepted")
+	}
+	if _, err := NewSegmentFile(0); err == nil {
+		t.Fatal("zero segment size accepted")
+	}
+}
+
+func TestBlockServerBasics(t *testing.T) {
+	bs := NewBlockServer(NewChunkServer(1 << 20))
+	if err := bs.AddSegment(1, 1<<20); err != nil {
+		t.Fatalf("AddSegment: %v", err)
+	}
+	if err := bs.AddSegment(1, 1<<20); err == nil {
+		t.Fatal("duplicate AddSegment accepted")
+	}
+	if !bs.HasSegment(1) || bs.HasSegment(2) {
+		t.Fatal("HasSegment wrong")
+	}
+	data := make([]byte, BlockSize)
+	fill(data, 3)
+	if err := bs.Write(1, 0, data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := make([]byte, BlockSize)
+	if _, err := bs.Read(1, 0, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	if err := bs.Write(9, 0, data); err == nil {
+		t.Fatal("write to unhosted segment accepted")
+	}
+	if _, err := bs.Read(9, 0, got); err == nil {
+		t.Fatal("read from unhosted segment accepted")
+	}
+	r, w, _ := bs.Traffic()
+	if r != BlockSize || w != BlockSize {
+		t.Fatalf("traffic = %d/%d", r, w)
+	}
+}
+
+func TestBlockServerGC(t *testing.T) {
+	cs := NewChunkServer(8 * BlockSize)
+	bs := NewBlockServer(cs)
+	bs.AddSegment(1, 1<<20)
+	data := make([]byte, BlockSize)
+	// Overwrite the same two blocks many times to build garbage across
+	// sealed chunks.
+	for i := 0; i < 32; i++ {
+		fill(data, byte(i))
+		if err := bs.Write(1, 0, data); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if err := bs.Write(1, BlockSize, data); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	freed, err := bs.CollectGarbage(0.5)
+	if err != nil {
+		t.Fatalf("CollectGarbage: %v", err)
+	}
+	if freed == 0 {
+		t.Fatal("GC reclaimed nothing despite heavy overwrites")
+	}
+	// Data must survive GC.
+	got := make([]byte, BlockSize)
+	if _, err := bs.Read(1, 0, got); err != nil {
+		t.Fatalf("post-GC read: %v", err)
+	}
+	want := make([]byte, BlockSize)
+	fill(want, 31)
+	if !bytes.Equal(got, want) {
+		t.Fatal("GC corrupted data")
+	}
+}
+
+func TestMigrateSegment(t *testing.T) {
+	src := NewBlockServer(NewChunkServer(1 << 20))
+	dst := NewBlockServer(NewChunkServer(1 << 20))
+	src.AddSegment(5, 1<<20)
+	data := make([]byte, 2*BlockSize)
+	fill(data, 9)
+	src.Write(5, 4*BlockSize, data)
+
+	if err := src.MigrateSegment(5, dst); err != nil {
+		t.Fatalf("MigrateSegment: %v", err)
+	}
+	if src.HasSegment(5) {
+		t.Fatal("segment still on source")
+	}
+	got := make([]byte, 2*BlockSize)
+	if _, err := dst.Read(5, 4*BlockSize, got); err != nil {
+		t.Fatalf("read on destination: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("migrated data mismatch")
+	}
+	if err := src.MigrateSegment(5, dst); err == nil {
+		t.Fatal("migrating absent segment accepted")
+	}
+	if err := dst.MigrateSegment(5, dst); err == nil {
+		t.Fatal("self-migration accepted")
+	}
+}
+
+func TestPrefetcherServesSequentialReads(t *testing.T) {
+	bs := NewBlockServer(NewChunkServer(32 << 20))
+	bs.AddSegment(1, 32<<20)
+	// Write 16 MiB of patterned data.
+	chunk := make([]byte, 256<<10)
+	for off := int64(0); off < 16<<20; off += int64(len(chunk)) {
+		fill(chunk, byte(off>>18))
+		if err := bs.Write(1, off, chunk); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	// Stream sequential 256 KiB reads; after the trigger, reads should hit
+	// the prefetch window.
+	dst := make([]byte, 256<<10)
+	var hits int
+	for off := int64(0); off < 8<<20; off += int64(len(dst)) {
+		hit, err := bs.Read(1, off, dst)
+		if err != nil {
+			t.Fatalf("read at %d: %v", off, err)
+		}
+		want := make([]byte, len(dst))
+		fill(want, byte(off>>18))
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("data mismatch at %d (hit=%v)", off, hit)
+		}
+		if hit {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("prefetcher never served a sequential stream")
+	}
+	_, _, hitBytes := bs.Traffic()
+	if hitBytes == 0 {
+		t.Fatal("prefetch hit bytes not accounted")
+	}
+}
+
+func TestPrefetcherInvalidatedByWrite(t *testing.T) {
+	p := NewPrefetcher(PrefetchConfig{MinIOSize: 4096, TriggerRuns: 1, WindowBytes: 8192})
+	p.Fill(1, 0, []byte{1, 2, 3, 4})
+	dst := make([]byte, 2)
+	if !p.Serve(1, 1, dst) {
+		t.Fatal("Serve should hit inside window")
+	}
+	p.Invalidate(1, 2, 2)
+	if p.Serve(1, 1, dst) {
+		t.Fatal("Serve hit after overlapping write")
+	}
+	// Non-overlapping invalidation keeps the window.
+	p.Fill(1, 0, []byte{1, 2, 3, 4})
+	p.Invalidate(1, 100, 4)
+	if !p.Serve(1, 0, dst) {
+		t.Fatal("non-overlapping write dropped window")
+	}
+	p.Drop(1)
+	if p.Serve(1, 0, dst) {
+		t.Fatal("Serve hit after Drop")
+	}
+}
+
+func TestPrefetcherDetectorResets(t *testing.T) {
+	p := NewPrefetcher(PrefetchConfig{MinIOSize: 4096, TriggerRuns: 2, WindowBytes: 8192})
+	if _, n := p.Observe(1, 0, 4096); n != 0 {
+		t.Fatal("armed after one read")
+	}
+	if next, n := p.Observe(1, 4096, 4096); n == 0 || next != 8192 {
+		t.Fatalf("second sequential read should arm: next=%d n=%d", next, n)
+	}
+	// Small read resets the run.
+	p.Observe(1, 8192, 512)
+	if _, n := p.Observe(1, 8704, 4096); n != 0 {
+		t.Fatal("armed immediately after reset")
+	}
+}
+
+func TestSegmentFilePropertyRandomOps(t *testing.T) {
+	// Property: a segment file behaves like a sparse byte array under
+	// random block-aligned writes and reads.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cs := NewChunkServer(64 * BlockSize)
+		const nBlocks = 32
+		sf, err := NewSegmentFile(nBlocks * BlockSize)
+		if err != nil {
+			return false
+		}
+		shadow := make([]byte, nBlocks*BlockSize)
+		for op := 0; op < 60; op++ {
+			block := rng.Intn(nBlocks)
+			n := 1 + rng.Intn(3)
+			if block+n > nBlocks {
+				n = nBlocks - block
+			}
+			off := int64(block) * BlockSize
+			if rng.Intn(2) == 0 {
+				data := make([]byte, n*BlockSize)
+				rng.Read(data)
+				if err := sf.Write(cs, off, data); err != nil {
+					return false
+				}
+				copy(shadow[off:], data)
+			} else {
+				got := make([]byte, n*BlockSize)
+				if err := sf.Read(cs, off, got); err != nil {
+					return false
+				}
+				if !bytes.Equal(got, shadow[off:off+int64(n*BlockSize)]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewChunkServerPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewChunkServer(0) should panic")
+		}
+	}()
+	NewChunkServer(0)
+}

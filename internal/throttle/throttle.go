@@ -1,0 +1,250 @@
+// Package throttle models the hypervisor's per-VD traffic throttling (§5):
+// every virtual disk carries a throughput cap and an IOPS cap (read+write
+// aggregated, like other EBS vendors); IOs beyond the cap queue in the
+// hypervisor. The package measures the symptoms the paper reports (abundant
+// Resource Available Rate during throttles, one-sided write-dominated
+// throttling) and implements the "limited lending" mitigation of Appendix B
+// together with its evaluation metrics (reduction rate, lending gain).
+package throttle
+
+import (
+	"math"
+
+	"ebslab/internal/stats"
+)
+
+// Caps is a VD's subscription: both dimensions are read+write aggregates.
+type Caps struct {
+	Tput float64 // bytes/s
+	IOPS float64 // ops/s
+}
+
+// Demand is one second of offered load from a VD.
+type Demand struct {
+	ReadBps   float64
+	WriteBps  float64
+	ReadIOPS  float64
+	WriteIOPS float64
+}
+
+// Bps returns summed read+write throughput demand.
+func (d Demand) Bps() float64 { return d.ReadBps + d.WriteBps }
+
+// IOPS returns summed read+write IOPS demand.
+func (d Demand) IOPS() float64 { return d.ReadIOPS + d.WriteIOPS }
+
+// Dimension names which cap triggered a throttle.
+type Dimension uint8
+
+// Throttle dimensions.
+const (
+	ByTput Dimension = iota
+	ByIOPS
+)
+
+func (d Dimension) String() string {
+	if d == ByTput {
+		return "throughput"
+	}
+	return "iops"
+}
+
+// Event is one (vd, second) throttle occurrence.
+type Event struct {
+	VD  int // index within the group
+	Sec int
+	Dim Dimension
+	// RAR is the group's Resource Available Rate (Equation 1) in the
+	// triggering dimension at the time of the throttle.
+	RAR float64
+	// WrRatio is the normalized write-to-read ratio (Equation 2) of the
+	// VD's demand in the triggering dimension.
+	WrRatio float64
+	// Load is the VD's offered load in the triggering dimension, and AR the
+	// group's absolute available resource there — the inputs of the
+	// reduction-rate analysis (Equation 3).
+	Load float64
+	AR   float64
+}
+
+// Result summarizes a group simulation.
+type Result struct {
+	// ThrottledSecs[vd] counts seconds during which vd had queued IO.
+	ThrottledSecs []int
+	// TotalThrottledSecs sums ThrottledSecs.
+	TotalThrottledSecs int
+	// Events lists every throttle occurrence with its RAR and wr_ratio.
+	Events []Event
+	// DeliveredBps[vd] is the mean delivered throughput.
+	DeliveredBps []float64
+	// QueueDelaySec[vd][t] estimates how long an IO arriving at second t
+	// would wait in the hypervisor queue: the end-of-second backlog divided
+	// by the effective cap (in the dimension draining slowest). Zero when
+	// unthrottled. The end-to-end simulator folds this into compute-node
+	// latency.
+	QueueDelaySec [][]float64
+}
+
+// Simulate replays a group of VDs (a multi-VD VM, or a tenant's multi-VM
+// node with caps flattened per disk) against the hard-threshold throttle.
+// demand is indexed [vd][sec]; caps is indexed [vd]. The throttle is a
+// queueing model: demand beyond the cap backlogs in the hypervisor and
+// drains in later seconds, so a burst's throttle outlasts the burst itself
+// (the latency-spike behaviour Calcspar reported on AWS EBS).
+func Simulate(caps []Caps, demand [][]Demand) Result {
+	return simulate(caps, demand, nil)
+}
+
+// simulate optionally applies a lending policy; lend may be nil.
+func simulate(caps []Caps, demand [][]Demand, lend *Lending) Result {
+	n := len(caps)
+	if len(demand) != n {
+		panic("throttle: demand rows must match caps")
+	}
+	var dur int
+	if n > 0 {
+		dur = len(demand[0])
+	}
+	res := Result{
+		ThrottledSecs: make([]int, n),
+		DeliveredBps:  make([]float64, n),
+		QueueDelaySec: make([][]float64, n),
+	}
+	for vd := range res.QueueDelaySec {
+		res.QueueDelaySec[vd] = make([]float64, dur)
+	}
+	backlogB := make([]float64, n)
+	backlogOps := make([]float64, n)
+
+	// Effective caps, mutated by lending within a period and reset at period
+	// boundaries.
+	eff := append([]Caps(nil), caps...)
+	lentThisPeriod := make([]bool, n)
+
+	var sumCapT, sumCapI float64
+	for _, c := range caps {
+		sumCapT += c.Tput
+		sumCapI += c.IOPS
+	}
+
+	for t := 0; t < dur; t++ {
+		if lend != nil && lend.PeriodSec > 0 && t%lend.PeriodSec == 0 {
+			copy(eff, caps)
+			for i := range lentThisPeriod {
+				lentThisPeriod[i] = false
+			}
+		}
+		// Group-level totals for RAR (Equation 1) use nominal caps and the
+		// group's offered load this second.
+		var vmT, vmI float64
+		for vd := 0; vd < n; vd++ {
+			vmT += demand[vd][t].Bps()
+			vmI += demand[vd][t].IOPS()
+		}
+
+		for vd := 0; vd < n; vd++ {
+			d := demand[vd][t]
+			offerB := d.Bps() + backlogB[vd]
+			offerOps := d.IOPS() + backlogOps[vd]
+
+			overT := overCap(offerB, eff[vd].Tput)
+			overI := overCap(offerOps, eff[vd].IOPS)
+			if (overT || overI) && lend != nil && !lentThisPeriod[vd] {
+				// Appendix B: on the first throttle of this VD in the
+				// period, it borrows p x AR(t) from unthrottled peers.
+				lentThisPeriod[vd] = true
+				applyLending(lend, eff, caps, demand, t, vd)
+				overT = overCap(offerB, eff[vd].Tput)
+				overI = overCap(offerOps, eff[vd].IOPS)
+			}
+
+			if overT || overI {
+				res.ThrottledSecs[vd]++
+				res.TotalThrottledSecs++
+				dim := ByTput
+				if overI && !overT {
+					dim = ByIOPS
+				}
+				ev := Event{VD: vd, Sec: t, Dim: dim}
+				// Load is the *delivered* traffic (clipped at the cap), as
+				// the paper's metric data would record it; Equation 3's
+				// VD(t) is measured, post-throttle throughput.
+				if dim == ByTput {
+					ev.RAR = rar(sumCapT, vmT)
+					ev.WrRatio = stats.WrRatio(d.WriteBps, d.ReadBps)
+					ev.Load = math.Min(offerB, eff[vd].Tput)
+					ev.AR = math.Max(0, sumCapT-vmT)
+				} else {
+					ev.RAR = rar(sumCapI, vmI)
+					ev.WrRatio = stats.WrRatio(d.WriteIOPS, d.ReadIOPS)
+					ev.Load = math.Min(offerOps, eff[vd].IOPS)
+					ev.AR = math.Max(0, sumCapI-vmI)
+				}
+				res.Events = append(res.Events, ev)
+			}
+
+			deliveredB := math.Min(offerB, eff[vd].Tput)
+			deliveredOps := math.Min(offerOps, eff[vd].IOPS)
+			// The binding constraint is whichever dimension clips harder.
+			fracB, fracOps := 1.0, 1.0
+			if offerB > 0 {
+				fracB = deliveredB / offerB
+			}
+			if offerOps > 0 {
+				fracOps = deliveredOps / offerOps
+			}
+			frac := math.Min(fracB, fracOps)
+			backlogB[vd] = offerB * (1 - frac)
+			backlogOps[vd] = offerOps * (1 - frac)
+			// Hypervisor queues are finite: at most maxQueueSecs worth of
+			// drain can be buffered; beyond that the guest blocks and the
+			// excess demand never materializes as queued IO.
+			if lim := maxQueueSecs * eff[vd].Tput; backlogB[vd] > lim {
+				backlogB[vd] = lim
+			}
+			if lim := maxQueueSecs * eff[vd].IOPS; backlogOps[vd] > lim {
+				backlogOps[vd] = lim
+			}
+			res.DeliveredBps[vd] += offerB * frac
+			var delay float64
+			if eff[vd].Tput > 0 {
+				delay = backlogB[vd] / eff[vd].Tput
+			}
+			if eff[vd].IOPS > 0 {
+				if d := backlogOps[vd] / eff[vd].IOPS; d > delay {
+					delay = d
+				}
+			}
+			res.QueueDelaySec[vd][t] = delay
+		}
+	}
+	if dur > 0 {
+		for vd := range res.DeliveredBps {
+			res.DeliveredBps[vd] /= float64(dur)
+		}
+	}
+	return res
+}
+
+// maxQueueSecs bounds the hypervisor IO queue: the backlog can hold at most
+// this many seconds of cap-rate drain (beyond that the guest's submission
+// blocks, closing the loop).
+const maxQueueSecs = 4.0
+
+// overCap compares offered load against a cap with a relative tolerance so
+// floating-point residue from backlog arithmetic cannot fabricate throttles.
+func overCap(offer, cap float64) bool {
+	return offer > cap*(1+1e-9)+1e-9
+}
+
+// rar computes Equation 1, clamped to [0,1]; an overloaded group reports 0.
+func rar(cap, load float64) float64 {
+	if cap <= 0 {
+		return math.NaN()
+	}
+	r := (cap - load) / cap
+	if r < 0 {
+		return 0
+	}
+	return r
+}

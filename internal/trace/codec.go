@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ebslab/internal/cluster"
+)
+
+// traceHeader is the CSV column layout for Record.
+var traceHeader = []string{
+	"trace_id", "time_us", "op", "size", "offset",
+	"dc", "node", "user", "vm", "vd", "qp", "wt", "storage", "segment",
+	"lat_compute_us", "lat_frontend_us", "lat_bs_us", "lat_backend_us", "lat_cs_us",
+}
+
+// WriteTraceCSV writes records to w as CSV with a header row.
+func WriteTraceCSV(w io.Writer, records []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	row := make([]string, len(traceHeader))
+	for i := range records {
+		r := &records[i]
+		row[0] = strconv.FormatUint(r.TraceID, 10)
+		row[1] = strconv.FormatInt(r.TimeUS, 10)
+		row[2] = r.Op.String()
+		row[3] = strconv.FormatInt(int64(r.Size), 10)
+		row[4] = strconv.FormatInt(r.Offset, 10)
+		row[5] = strconv.FormatInt(int64(r.DC), 10)
+		row[6] = strconv.FormatInt(int64(r.Node), 10)
+		row[7] = strconv.FormatInt(int64(r.User), 10)
+		row[8] = strconv.FormatInt(int64(r.VM), 10)
+		row[9] = strconv.FormatInt(int64(r.VD), 10)
+		row[10] = strconv.FormatInt(int64(r.QP), 10)
+		row[11] = strconv.FormatInt(int64(r.WT), 10)
+		row[12] = strconv.FormatInt(int64(r.Storage), 10)
+		row[13] = strconv.FormatInt(int64(r.Segment), 10)
+		for s := 0; s < int(NumStages); s++ {
+			row[14+s] = strconv.FormatFloat(float64(r.Latency[s]), 'g', -1, 32)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTraceCSV reads records written by WriteTraceCSV.
+func ReadTraceCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if len(header) != len(traceHeader) {
+		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(header), len(traceHeader))
+	}
+	var out []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		var rec Record
+		if rec.TraceID, err = strconv.ParseUint(row[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d trace_id: %w", line, err)
+		}
+		if rec.TimeUS, err = strconv.ParseInt(row[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d time_us: %w", line, err)
+		}
+		switch row[2] {
+		case "R":
+			rec.Op = OpRead
+		case "W":
+			rec.Op = OpWrite
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad opcode %q", line, row[2])
+		}
+		ints := []struct {
+			col  int
+			bits int
+			dst  func(int64)
+		}{
+			{3, 32, func(v int64) { rec.Size = int32(v) }},
+			{4, 64, func(v int64) { rec.Offset = v }},
+			{5, 32, func(v int64) { rec.DC = cluster.DCID(v) }},
+			{6, 32, func(v int64) { rec.Node = cluster.NodeID(v) }},
+			{7, 32, func(v int64) { rec.User = cluster.UserID(v) }},
+			{8, 32, func(v int64) { rec.VM = cluster.VMID(v) }},
+			{9, 32, func(v int64) { rec.VD = cluster.VDID(v) }},
+			{10, 32, func(v int64) { rec.QP = cluster.QPID(v) }},
+			{11, 8, func(v int64) { rec.WT = int8(v) }},
+			{12, 32, func(v int64) { rec.Storage = cluster.StorageNodeID(v) }},
+			{13, 32, func(v int64) { rec.Segment = cluster.SegmentID(v) }},
+		}
+		for _, f := range ints {
+			v, err := strconv.ParseInt(row[f.col], 10, f.bits)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d col %s: %w", line, traceHeader[f.col], err)
+			}
+			f.dst(v)
+		}
+		for s := 0; s < int(NumStages); s++ {
+			v, err := strconv.ParseFloat(row[14+s], 32)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d col %s: %w", line, traceHeader[14+s], err)
+			}
+			rec.Latency[s] = float32(v)
+		}
+		out = append(out, rec)
+	}
+}
+
+// metricHeader is the CSV column layout for MetricRow.
+var metricHeader = []string{
+	"domain", "sec", "dc", "user", "vm", "vd",
+	"node", "qp", "wt", "storage", "segment",
+	"read_bps", "write_bps", "read_iops", "write_iops",
+}
+
+// WriteMetricCSV writes metric rows to w as CSV with a header row.
+func WriteMetricCSV(w io.Writer, rows []MetricRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(metricHeader); err != nil {
+		return fmt.Errorf("trace: write metric header: %w", err)
+	}
+	row := make([]string, len(metricHeader))
+	for i := range rows {
+		m := &rows[i]
+		row[0] = m.Domain.String()
+		row[1] = strconv.FormatInt(int64(m.Sec), 10)
+		row[2] = strconv.FormatInt(int64(m.DC), 10)
+		row[3] = strconv.FormatInt(int64(m.User), 10)
+		row[4] = strconv.FormatInt(int64(m.VM), 10)
+		row[5] = strconv.FormatInt(int64(m.VD), 10)
+		row[6] = strconv.FormatInt(int64(m.Node), 10)
+		row[7] = strconv.FormatInt(int64(m.QP), 10)
+		row[8] = strconv.FormatInt(int64(m.WT), 10)
+		row[9] = strconv.FormatInt(int64(m.Storage), 10)
+		row[10] = strconv.FormatInt(int64(m.Segment), 10)
+		row[11] = strconv.FormatFloat(m.ReadBps, 'g', -1, 64)
+		row[12] = strconv.FormatFloat(m.WriteBps, 'g', -1, 64)
+		row[13] = strconv.FormatFloat(m.ReadIOPS, 'g', -1, 64)
+		row[14] = strconv.FormatFloat(m.WriteIOPS, 'g', -1, 64)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write metric row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadMetricCSV reads metric rows written by WriteMetricCSV.
+func ReadMetricCSV(r io.Reader) ([]MetricRow, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read metric header: %w", err)
+	}
+	if len(header) != len(metricHeader) {
+		return nil, fmt.Errorf("trace: metric header has %d columns, want %d", len(header), len(metricHeader))
+	}
+	var out []MetricRow
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: metric line %d: %w", line, err)
+		}
+		var m MetricRow
+		switch row[0] {
+		case "compute":
+			m.Domain = DomainCompute
+		case "storage":
+			m.Domain = DomainStorage
+		default:
+			return nil, fmt.Errorf("trace: metric line %d: bad domain %q", line, row[0])
+		}
+		ints := []struct {
+			col int
+			dst func(int64)
+		}{
+			{1, func(v int64) { m.Sec = int32(v) }},
+			{2, func(v int64) { m.DC = cluster.DCID(v) }},
+			{3, func(v int64) { m.User = cluster.UserID(v) }},
+			{4, func(v int64) { m.VM = cluster.VMID(v) }},
+			{5, func(v int64) { m.VD = cluster.VDID(v) }},
+			{6, func(v int64) { m.Node = cluster.NodeID(v) }},
+			{7, func(v int64) { m.QP = cluster.QPID(v) }},
+			{8, func(v int64) { m.WT = int8(v) }},
+			{9, func(v int64) { m.Storage = cluster.StorageNodeID(v) }},
+			{10, func(v int64) { m.Segment = cluster.SegmentID(v) }},
+		}
+		for _, f := range ints {
+			v, err := strconv.ParseInt(row[f.col], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: metric line %d col %s: %w", line, metricHeader[f.col], err)
+			}
+			f.dst(v)
+		}
+		floats := []struct {
+			col int
+			dst *float64
+		}{
+			{11, &m.ReadBps}, {12, &m.WriteBps}, {13, &m.ReadIOPS}, {14, &m.WriteIOPS},
+		}
+		for _, f := range floats {
+			v, err := strconv.ParseFloat(row[f.col], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: metric line %d col %s: %w", line, metricHeader[f.col], err)
+			}
+			*f.dst = v
+		}
+		out = append(out, m)
+	}
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Dataset file names within a directory.
+const (
+	FileTraceCSV      = "trace.csv"
+	FileTraceJSONL    = "trace.jsonl"
+	FileMetricCompute = "metric_compute.csv"
+	FileMetricStorage = "metric_storage.csv"
+	FileSpecVD        = "spec_vd.csv"
+	FileSpecVM        = "spec_vm.csv"
+)
+
+// SaveDir writes the dataset's five files (plus a JSONL mirror of the
+// trace) into dir, creating it if needed. The topology itself is not
+// serialized — it is regenerable from the workload seed.
+func SaveDir(ds *Dataset, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("trace: save dir: %w", err)
+	}
+	steps := []struct {
+		name string
+		fn   func(*os.File) error
+	}{
+		{FileTraceCSV, func(f *os.File) error { return WriteTraceCSV(f, ds.Trace) }},
+		{FileTraceJSONL, func(f *os.File) error { return WriteTraceJSONL(f, ds.Trace) }},
+		{FileMetricCompute, func(f *os.File) error { return WriteMetricCSV(f, ds.Compute) }},
+		{FileMetricStorage, func(f *os.File) error { return WriteMetricCSV(f, ds.Storage) }},
+		{FileSpecVD, func(f *os.File) error { return WriteVDSpecCSV(f, ds.VDSpecs) }},
+		{FileSpecVM, func(f *os.File) error { return WriteVMSpecCSV(f, ds.VMSpecs) }},
+	}
+	for _, st := range steps {
+		f, err := os.Create(filepath.Join(dir, st.name))
+		if err != nil {
+			return fmt.Errorf("trace: create %s: %w", st.name, err)
+		}
+		if err := st.fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace: write %s: %w", st.name, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("trace: close %s: %w", st.name, err)
+		}
+	}
+	return nil
+}
+
+// LoadDir reads a dataset saved by SaveDir. The Topology and Seg2BS fields
+// are left nil (regenerate the fleet from its seed to get them);
+// DurationSec is inferred from the metric rows.
+func LoadDir(dir string) (*Dataset, error) {
+	ds := &Dataset{}
+	read := func(name string, fn func(*os.File) error) error {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("trace: open %s: %w", name, err)
+		}
+		defer f.Close()
+		return fn(f)
+	}
+	if err := read(FileTraceCSV, func(f *os.File) error {
+		var err error
+		ds.Trace, err = ReadTraceCSV(f)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := read(FileMetricCompute, func(f *os.File) error {
+		var err error
+		ds.Compute, err = ReadMetricCSV(f)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := read(FileMetricStorage, func(f *os.File) error {
+		var err error
+		ds.Storage, err = ReadMetricCSV(f)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := read(FileSpecVD, func(f *os.File) error {
+		var err error
+		ds.VDSpecs, err = ReadVDSpecCSV(f)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := read(FileSpecVM, func(f *os.File) error {
+		var err error
+		ds.VMSpecs, err = ReadVMSpecCSV(f)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for i := range ds.Compute {
+		if int(ds.Compute[i].Sec)+1 > ds.DurationSec {
+			ds.DurationSec = int(ds.Compute[i].Sec) + 1
+		}
+	}
+	return ds, nil
+}

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ebslab/internal/cluster"
+)
+
+func TestSaveLoadDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := &Dataset{
+		DurationSec: 3,
+		Trace: []Record{
+			{TraceID: 1, TimeUS: 5, Op: OpWrite, Size: 4096, VD: 2, QP: 3, Segment: 4},
+		},
+		Compute: []MetricRow{
+			{Domain: DomainCompute, Sec: 2, VD: 2, QP: 3, WriteBps: 4096, WriteIOPS: 1},
+		},
+		Storage: []MetricRow{
+			{Domain: DomainStorage, Sec: 2, VD: 2, Segment: 4, WriteBps: 4096, WriteIOPS: 1},
+		},
+		VDSpecs: []VDSpec{{VD: 2, Capacity: 64 << 30, ThroughputCap: 1e8, IOPSCap: 1800, NumQPs: 1}},
+		VMSpecs: []VMSpec{{VM: 1, Node: 0, App: cluster.AppDatabase, VDs: []cluster.VDID{2}}},
+	}
+	if err := SaveDir(in, dir); err != nil {
+		t.Fatalf("SaveDir: %v", err)
+	}
+	for _, name := range []string{
+		FileTraceCSV, FileTraceJSONL, FileMetricCompute, FileMetricStorage, FileSpecVD, FileSpecVM,
+	} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+	out, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(out.Trace) != 1 || out.Trace[0] != in.Trace[0] {
+		t.Fatalf("trace round trip: %+v", out.Trace)
+	}
+	if len(out.Compute) != 1 || out.Compute[0] != in.Compute[0] {
+		t.Fatalf("compute round trip: %+v", out.Compute)
+	}
+	if len(out.Storage) != 1 || len(out.VDSpecs) != 1 || len(out.VMSpecs) != 1 {
+		t.Fatal("dataset parts missing")
+	}
+	if out.DurationSec != 3 {
+		t.Fatalf("inferred duration = %d, want 3", out.DurationSec)
+	}
+}
+
+func TestLoadDirMissingFiles(t *testing.T) {
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Fatal("LoadDir on empty dir succeeded")
+	}
+}

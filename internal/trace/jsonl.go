@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ebslab/internal/cluster"
+)
+
+// jsonRecord is the JSONL wire form of Record (field names chosen for
+// interoperability with common trace tooling).
+type jsonRecord struct {
+	TraceID uint64     `json:"trace_id"`
+	TimeUS  int64      `json:"time_us"`
+	Op      string     `json:"op"`
+	Size    int32      `json:"size"`
+	Offset  int64      `json:"offset"`
+	DC      int32      `json:"dc"`
+	Node    int32      `json:"node"`
+	User    int32      `json:"user"`
+	VM      int32      `json:"vm"`
+	VD      int32      `json:"vd"`
+	QP      int32      `json:"qp"`
+	WT      int8       `json:"wt"`
+	Storage int32      `json:"storage"`
+	Segment int32      `json:"segment"`
+	Latency [5]float32 `json:"latency_us"`
+}
+
+// WriteTraceJSONL writes records as one JSON object per line.
+func WriteTraceJSONL(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range records {
+		r := &records[i]
+		jr := jsonRecord{
+			TraceID: r.TraceID, TimeUS: r.TimeUS, Op: r.Op.String(),
+			Size: r.Size, Offset: r.Offset,
+			DC: int32(r.DC), Node: int32(r.Node), User: int32(r.User),
+			VM: int32(r.VM), VD: int32(r.VD), QP: int32(r.QP), WT: r.WT,
+			Storage: int32(r.Storage), Segment: int32(r.Segment),
+			Latency: r.Latency,
+		}
+		if err := enc.Encode(&jr); err != nil {
+			return fmt.Errorf("trace: jsonl encode record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTraceJSONL reads records written by WriteTraceJSONL.
+func ReadTraceJSONL(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for line := 1; ; line++ {
+		var jr jsonRecord
+		if err := dec.Decode(&jr); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: jsonl line %d: %w", line, err)
+		}
+		rec := Record{
+			TraceID: jr.TraceID, TimeUS: jr.TimeUS,
+			Size: jr.Size, Offset: jr.Offset,
+			DC: cluster.DCID(jr.DC), Node: cluster.NodeID(jr.Node), User: cluster.UserID(jr.User),
+			VM: cluster.VMID(jr.VM), VD: cluster.VDID(jr.VD), QP: cluster.QPID(jr.QP), WT: jr.WT,
+			Storage: cluster.StorageNodeID(jr.Storage), Segment: cluster.SegmentID(jr.Segment),
+			Latency: jr.Latency,
+		}
+		switch jr.Op {
+		case "R":
+			rec.Op = OpRead
+		case "W":
+			rec.Op = OpWrite
+		default:
+			return nil, fmt.Errorf("trace: jsonl line %d: bad op %q", line, jr.Op)
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []Record{
+		{
+			TraceID: 9, TimeUS: 123, Op: OpRead, Size: 4096, Offset: 1 << 31,
+			DC: 2, Node: 3, User: 4, VM: 5, VD: 6, QP: 7, WT: 3, Storage: 8, Segment: 9,
+			Latency: [NumStages]float32{1, 2, 3, 4, 5},
+		},
+		{TraceID: 10, Op: OpWrite, Size: 512},
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceJSONL(&buf, in); err != nil {
+		t.Fatalf("WriteTraceJSONL: %v", err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 2 {
+		t.Fatalf("jsonl lines = %d", lines)
+	}
+	out, err := ReadTraceJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadTraceJSONL: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("records = %d", len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestJSONLRejectsBadInput(t *testing.T) {
+	if _, err := ReadTraceJSONL(strings.NewReader(`{"op":"X"}`)); err == nil {
+		t.Fatal("bad opcode accepted")
+	}
+	if _, err := ReadTraceJSONL(strings.NewReader(`{`)); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	out, err := ReadTraceJSONL(strings.NewReader(""))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty input: %v, %d records", err, len(out))
+	}
+}

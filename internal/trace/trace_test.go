@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "R" || OpWrite.String() != "W" {
+		t.Fatalf("Op strings = %q/%q", OpRead, OpWrite)
+	}
+}
+
+func TestStageString(t *testing.T) {
+	want := []string{"compute_node", "frontend_net", "block_server", "backend_net", "chunk_server"}
+	for s := Stage(0); s < NumStages; s++ {
+		if got := s.String(); got != want[s] {
+			t.Errorf("Stage(%d) = %q, want %q", s, got, want[s])
+		}
+	}
+	if got := Stage(9).String(); got != "Stage(9)" {
+		t.Errorf("unknown stage = %q", got)
+	}
+}
+
+func TestTotalLatency(t *testing.T) {
+	r := Record{Latency: [NumStages]float32{1, 2, 3, 4, 5}}
+	if got := r.TotalLatency(); got != 15 {
+		t.Fatalf("TotalLatency = %v, want 15", got)
+	}
+}
+
+func TestMetricRowSums(t *testing.T) {
+	m := MetricRow{ReadBps: 10, WriteBps: 5, ReadIOPS: 100, WriteIOPS: 50}
+	if m.Bps() != 15 || m.IOPS() != 150 {
+		t.Fatalf("Bps/IOPS = %v/%v", m.Bps(), m.IOPS())
+	}
+}
+
+func TestSampledRate(t *testing.T) {
+	// The splitmix64-based sampler should select very close to 1/3200.
+	const n = 3_200_000
+	var hits int
+	for i := uint64(0); i < n; i++ {
+		if Sampled(i) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	want := 1.0 / SampleRate
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("sampling rate = %v, want within 10%% of %v", got, want)
+	}
+}
+
+func TestSampledDeterministic(t *testing.T) {
+	for i := uint64(0); i < 10_000; i++ {
+		if Sampled(i) != Sampled(i) {
+			t.Fatal("Sampled is not deterministic")
+		}
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	in := []Record{
+		{
+			TraceID: 42, TimeUS: 1_000_000, Op: OpWrite, Size: 4096, Offset: 1 << 30,
+			DC: 1, Node: 2, User: 3, VM: 4, VD: 5, QP: 6, WT: 1, Storage: 7, Segment: 8,
+			Latency: [NumStages]float32{10.5, 20, 30, 40, 50.25},
+		},
+		{
+			TraceID: 43, TimeUS: 2, Op: OpRead, Size: 512, Offset: 0,
+			Latency: [NumStages]float32{1, 1, 1, 1, 1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, in); err != nil {
+		t.Fatalf("WriteTraceCSV: %v", err)
+	}
+	out, err := ReadTraceCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadTraceCSV: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestTraceCSVRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "a,b\n",
+		"bad op":      strings.Join(traceHeader, ",") + "\n1,2,X,4,5,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n",
+		"bad number":  strings.Join(traceHeader, ",") + "\nx,2,R,4,5,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n",
+		"bad latency": strings.Join(traceHeader, ",") + "\n1,2,R,4,5,0,0,0,0,0,0,0,0,0,zzz,0,0,0,0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTraceCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadTraceCSV accepted malformed input", name)
+		}
+	}
+}
+
+func TestMetricCSVRoundTrip(t *testing.T) {
+	in := []MetricRow{
+		{
+			Domain: DomainCompute, Sec: 17, DC: 0, User: 1, VM: 2, VD: 3,
+			Node: 4, QP: 5, WT: 2,
+			ReadBps: 35e6, WriteBps: 14e6, ReadIOPS: 3200, WriteIOPS: 9000,
+		},
+		{
+			Domain: DomainStorage, Sec: 17, DC: 2, User: 1, VM: 2, VD: 3,
+			Storage: 9, Segment: 11,
+			ReadBps: 21e6, WriteBps: 13e6, ReadIOPS: 3000, WriteIOPS: 8000,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteMetricCSV(&buf, in); err != nil {
+		t.Fatalf("WriteMetricCSV: %v", err)
+	}
+	out, err := ReadMetricCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadMetricCSV: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("round trip length %d, want 2", len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("row %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestMetricCSVRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"bad header": "a\n",
+		"bad domain": strings.Join(metricHeader, ",") + "\nnope,1,0,0,0,0,0,0,0,0,0,1,1,1,1\n",
+		"bad float":  strings.Join(metricHeader, ",") + "\ncompute,1,0,0,0,0,0,0,0,0,0,x,1,1,1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMetricCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadMetricCSV accepted malformed input", name)
+		}
+	}
+}
+
+func TestTraceCSVRoundTripProperty(t *testing.T) {
+	// Property: any record with valid op survives a round trip unchanged.
+	f := func(id uint64, timeUS int64, size int32, offset int64, write bool) bool {
+		rec := Record{TraceID: id, TimeUS: timeUS, Size: size, Offset: offset}
+		if write {
+			rec.Op = OpWrite
+		}
+		var buf bytes.Buffer
+		if err := WriteTraceCSV(&buf, []Record{rec}); err != nil {
+			return false
+		}
+		out, err := ReadTraceCSV(&buf)
+		return err == nil && len(out) == 1 && out[0] == rec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

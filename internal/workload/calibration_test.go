@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"ebslab/internal/cluster"
+	"ebslab/internal/stats"
+)
+
+// These tests pin the distributional shapes the generator is calibrated to
+// (DESIGN.md's calibration targets). They use a moderate fleet so the
+// statistics are stable across the fixed seed.
+
+func calibrationFleet(t *testing.T) *Fleet {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.DCs = 1
+	cfg.NodesPerDC = 80
+	cfg.BSPerDC = 12
+	cfg.BSPerCluster = 6
+	cfg.Users = 60
+	cfg.DurationSec = 300
+	f, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// vmTotals sums per-VM read/write bytes over the window.
+func vmTotals(f *Fleet, dur int) (reads, writes []float64, p2aR, p2aW []float64) {
+	top := f.Topology
+	vmR := make([]float64, len(top.VMs))
+	vmW := make([]float64, len(top.VMs))
+	type agg struct{ r, w []float64 }
+	series := make([]agg, len(top.VMs))
+	for i := range series {
+		series[i] = agg{r: make([]float64, dur), w: make([]float64, dur)}
+	}
+	for vd := range top.VDs {
+		vm := top.VDs[vd].VM
+		s := f.VDSeries(cluster.VDID(vd), dur)
+		for t, smp := range s {
+			vmR[vm] += smp.ReadBps
+			vmW[vm] += smp.WriteBps
+			series[vm].r[t] += smp.ReadBps
+			series[vm].w[t] += smp.WriteBps
+		}
+	}
+	for i := range series {
+		p2aR = append(p2aR, stats.P2A(series[i].r))
+		p2aW = append(p2aW, stats.P2A(series[i].w))
+	}
+	return vmR, vmW, p2aR, p2aW
+}
+
+func TestCalibrationSpatialSkew(t *testing.T) {
+	f := calibrationFleet(t)
+	reads, writes, _, _ := vmTotals(f, f.Cfg.DurationSec)
+	ccrR := stats.CCR(reads, 0.01)
+	ccrW := stats.CCR(writes, 0.01)
+	// O1: far above the prior study's 16.6%.
+	if !(ccrR > 0.17) {
+		t.Errorf("VM read 1%%-CCR %v not above 0.17", ccrR)
+	}
+	if !(ccrW > 0.10) {
+		t.Errorf("VM write 1%%-CCR %v not above 0.10", ccrW)
+	}
+	// Top-20%% dominates.
+	if got := stats.CCR(writes, 0.20); !(got > 0.8) {
+		t.Errorf("VM write 20%%-CCR %v not above 0.8", got)
+	}
+}
+
+func TestCalibrationTemporalSkew(t *testing.T) {
+	f := calibrationFleet(t)
+	_, _, p2aR, p2aW := vmTotals(f, f.Cfg.DurationSec)
+	medR := stats.Median(stats.DropNaN(p2aR))
+	medW := stats.Median(stats.DropNaN(p2aW))
+	// O2: read P2A well above write P2A; both large.
+	if !(medR > 2*medW) {
+		t.Errorf("median VM read P2A %v not above 2x write %v", medR, medW)
+	}
+	if !(medR > 20) {
+		t.Errorf("median VM read P2A %v too small", medR)
+	}
+}
+
+func TestCalibrationWriteSeriesAutocorrelated(t *testing.T) {
+	// Write traffic must carry short-lag structure (bursts persist for
+	// several seconds), or no §6 predictor could possibly work.
+	f := calibrationFleet(t)
+	var acs []float64
+	count := 0
+	for vd := range f.Topology.VDs {
+		if count >= 60 {
+			break
+		}
+		if f.Models[vd].MeanWriteBps < 1e5 {
+			continue
+		}
+		count++
+		series := f.VDSeries(cluster.VDID(vd), 200)
+		ws := make([]float64, len(series))
+		for i, s := range series {
+			ws[i] = s.WriteBps
+		}
+		if ac := stats.AutoCorr(ws, 1); !math.IsNaN(ac) {
+			acs = append(acs, ac)
+		}
+	}
+	if len(acs) < 20 {
+		t.Skip("too few active write series")
+	}
+	if med := stats.Median(acs); !(med > 0.1) {
+		t.Errorf("median lag-1 write autocorrelation %v not above 0.1", med)
+	}
+}
+
+func TestCalibrationSegmentOneSidedness(t *testing.T) {
+	f := calibrationFleet(t)
+	t2 := f.Topology
+	var absWr []float64
+	for vd := range t2.VDs {
+		m := &f.Models[vd]
+		total := m.MeanReadBps + m.MeanWriteBps
+		if total < 1e5 {
+			continue
+		}
+		for i := range t2.VDs[vd].Segments {
+			r := m.MeanReadBps * m.SegWeightsRead[i]
+			w := m.MeanWriteBps * m.SegWeightsWrite[i]
+			if r+w < 1e4 {
+				continue
+			}
+			wr := stats.WrRatio(w, r)
+			if !math.IsNaN(wr) {
+				absWr = append(absWr, math.Abs(wr))
+			}
+		}
+	}
+	if med := stats.Median(absWr); !(med > 0.6) {
+		t.Errorf("median segment |wr_ratio| %v not above 0.6", med)
+	}
+}
+
+func TestCalibrationQPWriteMoreConcentratedThanRead(t *testing.T) {
+	// §4.2: VD-to-QP CoV is higher for writes (0.81) than reads (0.39).
+	f := calibrationFleet(t)
+	var covR, covW []float64
+	for vd := range f.Topology.VDs {
+		m := &f.Models[vd]
+		if len(m.QPWeightsRead) < 2 {
+			continue
+		}
+		covR = appendFinite(covR, stats.NormCoV(m.QPWeightsRead))
+		covW = appendFinite(covW, stats.NormCoV(m.QPWeightsWrite))
+	}
+	if len(covR) < 10 {
+		t.Skip("too few multi-QP disks")
+	}
+	if !(stats.Median(covW) > stats.Median(covR)) {
+		t.Errorf("write QP CoV %v not above read %v", stats.Median(covW), stats.Median(covR))
+	}
+}
+
+func appendFinite(xs []float64, v float64) []float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return xs
+	}
+	return append(xs, v)
+}
+
+func TestCalibrationHotReadAbsorption(t *testing.T) {
+	// Most disks have hot reads mostly absorbed (HotReadFrac << HotAccessFrac),
+	// with a small read-hot minority (§7.2: 5.5% read-dominant).
+	f := calibrationFleet(t)
+	var absorbed, readHot int
+	for vd := range f.Models {
+		m := &f.Models[vd]
+		if m.HotReadFrac < 0.5*m.HotAccessFrac {
+			absorbed++
+		} else {
+			readHot++
+		}
+	}
+	frac := float64(readHot) / float64(absorbed+readHot)
+	if !(frac > 0.01 && frac < 0.2) {
+		t.Errorf("read-hot disk fraction %v outside (0.01, 0.2)", frac)
+	}
+}

@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"math"
+
+	"ebslab/internal/cluster"
+	"ebslab/internal/trace"
+)
+
+// Event is one block IO issued by a virtual disk.
+type Event struct {
+	TimeUS int64 // microseconds since window start
+	Op     trace.Op
+	Size   int32 // bytes, 4 KiB aligned
+	Offset int64 // byte offset into the VD, 4 KiB aligned
+	QP     cluster.QPID
+}
+
+// sectorSize is the alignment quantum of generated IOs.
+const sectorSize = 4 << 10
+
+// maxEventsPerSec caps post-sampling event generation during extreme bursts
+// so pathological configurations cannot hang a simulation.
+const maxEventsPerSec = 1 << 20
+
+// GenEvents synthesizes the EBS-visible IO event stream of vd over
+// [0, durSec) seconds, keeping one out of every sampleEvery IOs (pass 1 for
+// the full stream, or trace.SampleRate to mimic the paper's 1/3200
+// tracing). Events are delivered to fn in timestamp order.
+//
+// The LBA model implements §7's findings: a fraction HotAccessFrac of write
+// IOs lands in a contiguous hot range (the "hottest block"), hot writes
+// stream sequentially through it (LSM/journal style, which is why FIFO ~=
+// LRU in Fig 7a), hot reads are mostly absorbed by the guest page cache
+// (HotReadFrac), and cold IOs spread over Zipf-weighted regions of the
+// remaining address space.
+func (f *Fleet) GenEvents(vd cluster.VDID, durSec, sampleEvery int, fn func(Event)) {
+	f.genEvents(vd, durSec, sampleEvery, false, fn)
+}
+
+// GenAppEvents synthesizes the *application-level* stream of vd: the IOs as
+// the guest issues them, before its page cache absorbs hot-range re-reads.
+// Hot reads use the full HotAccessFrac instead of the absorbed HotReadFrac.
+// Feed this through guestcache.Filter to regenerate an EBS-visible stream
+// from first principles.
+func (f *Fleet) GenAppEvents(vd cluster.VDID, durSec, sampleEvery int, fn func(Event)) {
+	f.genEvents(vd, durSec, sampleEvery, true, fn)
+}
+
+func (f *Fleet) genEvents(vd cluster.VDID, durSec, sampleEvery int, appLevel bool, fn func(Event)) {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	d := &f.Topology.VDs[vd]
+	m := &f.Models[vd]
+	series := f.VDSeries(vd, durSec)
+	rng := newRand(f.Cfg.Seed, tagEvents, uint64(vd))
+
+	coldW := zipfWeights(m.ColdZipfBlocks, 1.2)
+	// Shuffle region ranks so the hot cold-region is not always region 0.
+	perm := rng.Perm(m.ColdZipfBlocks)
+	regionLen := d.Capacity / int64(m.ColdZipfBlocks)
+	if regionLen < sectorSize {
+		regionLen = sectorSize
+	}
+
+	seqPos := m.HotspotOffset
+	// Recent cold offsets: a fraction of cold accesses re-reference them
+	// (temporal locality that an LRU can exploit but FIFO cannot).
+	var recent [64]int64
+	var recentN, recentIdx int
+
+	for t, s := range series {
+		rc := countFor(rng, s.ReadIOPS/float64(sampleEvery))
+		wc := countFor(rng, s.WriteIOPS/float64(sampleEvery))
+		total := rc + wc
+		if total == 0 {
+			continue
+		}
+		if total > maxEventsPerSec {
+			scale := float64(maxEventsPerSec) / float64(total)
+			rc = int(float64(rc) * scale)
+			wc = int(float64(wc) * scale)
+			total = rc + wc
+			if total == 0 {
+				continue
+			}
+		}
+		gapUS := 1e6 / float64(total)
+		for k := 0; k < total; k++ {
+			var ev Event
+			// Choose op proportionally to remaining counts so the mix is
+			// exact per second.
+			if rng.Float64()*float64(rc+wc) < float64(rc) {
+				ev.Op = trace.OpRead
+				rc--
+			} else {
+				ev.Op = trace.OpWrite
+				wc--
+			}
+			ev.TimeUS = int64(float64(t)*1e6 + float64(k)*gapUS)
+
+			meanSize := m.ReadIOSize
+			qpW := m.QPWeightsRead
+			if ev.Op == trace.OpWrite {
+				meanSize = m.WriteIOSize
+				qpW = m.QPWeightsWrite
+			}
+			ev.Size = drawIOSize(rng, meanSize)
+			ev.QP = d.QPs[pickWeighted(rng, qpW)]
+
+			hotFrac := m.HotAccessFrac
+			if ev.Op == trace.OpRead && !appLevel {
+				hotFrac = m.HotReadFrac
+			}
+			if rng.Float64() < hotFrac && m.HotspotLen > int64(ev.Size) {
+				// Hot range access.
+				if ev.Op == trace.OpWrite && m.HotWriteSeq {
+					ev.Offset = seqPos
+					seqPos += int64(ev.Size)
+					if seqPos+int64(ev.Size) > m.HotspotOffset+m.HotspotLen {
+						seqPos = m.HotspotOffset
+					}
+				} else {
+					span := m.HotspotLen - int64(ev.Size)
+					ev.Offset = m.HotspotOffset + alignDown(int64(rng.Float64()*float64(span)))
+				}
+			} else if recentN > 0 && rng.Float64() < 0.25 {
+				// Re-reference a recent cold offset (temporal locality).
+				ev.Offset = recent[rng.Intn(recentN)]
+			} else {
+				// Cold access: Zipf-weighted region, uniform inside.
+				region := perm[pickWeighted(rng, coldW)]
+				base := int64(region) * regionLen
+				span := regionLen - int64(ev.Size)
+				if span < 0 {
+					span = 0
+				}
+				ev.Offset = base + alignDown(int64(rng.Float64()*float64(span)))
+				recent[recentIdx] = ev.Offset
+				recentIdx = (recentIdx + 1) % len(recent)
+				if recentN < len(recent) {
+					recentN++
+				}
+			}
+			if ev.Offset+int64(ev.Size) > d.Capacity {
+				ev.Offset = d.Capacity - int64(ev.Size)
+				ev.Offset = alignDown(ev.Offset)
+			}
+			if ev.Offset < 0 {
+				ev.Offset = 0
+			}
+			fn(ev)
+		}
+	}
+}
+
+// countFor turns a fractional expected count into an integer count by
+// flooring and adding a Bernoulli remainder, preserving the mean.
+func countFor(rng interface{ Float64() float64 }, lambda float64) int {
+	if lambda <= 0 || math.IsNaN(lambda) {
+		return 0
+	}
+	n := int(lambda)
+	if rng.Float64() < lambda-float64(n) {
+		n++
+	}
+	return n
+}
+
+// drawIOSize draws a 4 KiB-aligned IO size around the mean with a lognormal
+// spread, clamped to [4 KiB, 4 MiB].
+func drawIOSize(rng interface{ NormFloat64() float64 }, mean float64) int32 {
+	s := mean * math.Exp(0.4*rng.NormFloat64())
+	if s < sectorSize {
+		s = sectorSize
+	}
+	if s > 4<<20 {
+		s = 4 << 20
+	}
+	return int32(alignDown(int64(s)))
+}
+
+// alignDown rounds x down to the sector boundary.
+func alignDown(x int64) int64 {
+	a := x &^ (sectorSize - 1)
+	if a < 0 {
+		return 0
+	}
+	return a
+}

@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"math"
+
+	"ebslab/internal/cluster"
+)
+
+// Sample is one interval of traffic for some entity, expressed as rates.
+type Sample struct {
+	ReadBps   float64
+	WriteBps  float64
+	ReadIOPS  float64
+	WriteIOPS float64
+}
+
+// Bps returns the summed read+write throughput of the sample.
+func (s Sample) Bps() float64 { return s.ReadBps + s.WriteBps }
+
+// IOPS returns the summed read+write IOPS of the sample.
+func (s Sample) IOPS() float64 { return s.ReadIOPS + s.WriteIOPS }
+
+// RW is a pair of read/write byte counts (or rates, per context).
+type RW struct {
+	R float64
+	W float64
+}
+
+// Total returns R+W.
+func (x RW) Total() float64 { return x.R + x.W }
+
+// burstState walks one direction's ON/OFF burst process. The process is:
+// quiescent at baseline x mean, entering a burst with probability onProb per
+// second; burst durations are geometric with the configured mean and burst
+// magnitudes are bounded-Pareto multiples of the mean rate. Second-to-second
+// lognormal noise rides on top. Heavy Pareto tails with tiny on-probability
+// are what produce the enormous peak-to-average ratios of Table 3.
+type burstState struct {
+	prof        burstProfile
+	onRemaining int
+	onMag       float64
+}
+
+// maxBurstMult bounds burst magnitude so a single sample cannot overflow
+// aggregate arithmetic; 2e4 still allows P2A ~ 10^4 windows.
+const maxBurstMult = 2e4
+
+// step advances one second and returns the rate multiplier.
+func (b *burstState) step(rng interface {
+	Float64() float64
+	NormFloat64() float64
+}) float64 {
+	if b.onRemaining == 0 && rng.Float64() < b.prof.onProb {
+		mean := b.prof.meanOnSec
+		n := 1
+		p := 1 / mean
+		for rng.Float64() > p && n < 300 {
+			n++
+		}
+		b.onRemaining = n
+		b.onMag = boundedParetoF(rng.Float64(), b.prof.paretoXm, b.prof.paretoA, maxBurstMult)
+	}
+	mult := b.prof.baseline
+	if b.onRemaining > 0 {
+		mult = b.onMag
+		b.onRemaining--
+	}
+	sigma := b.prof.noise
+	noise := math.Exp(-sigma*sigma/2 + sigma*rng.NormFloat64())
+	return mult * noise
+}
+
+// boundedParetoF is the inverse CDF of a Pareto(xm, a) truncated at hi,
+// evaluated at u in [0,1).
+func boundedParetoF(u, xm, a, hi float64) float64 {
+	if hi <= xm {
+		return xm
+	}
+	l := math.Pow(xm, a)
+	h := math.Pow(hi, a)
+	return math.Pow(-(u*h-u*l-h)/(h*l), -1/a)
+}
+
+// VDSeries generates the per-second traffic series of a VD for durSec
+// seconds. The series is deterministic per (fleet seed, vd) and independent
+// of any other entity's series.
+func (f *Fleet) VDSeries(vd cluster.VDID, durSec int) []Sample {
+	m := &f.Models[vd]
+	rng := newRand(f.Cfg.Seed, tagVDSeries, uint64(vd))
+	rb := burstState{prof: m.ReadBurst}
+	wb := burstState{prof: m.WriteBurst}
+	out := make([]Sample, durSec)
+	for t := 0; t < durSec; t++ {
+		r := m.MeanReadBps * rb.step(rng)
+		w := m.MeanWriteBps * wb.step(rng)
+		out[t] = Sample{
+			ReadBps:   r,
+			WriteBps:  w,
+			ReadIOPS:  r / m.ReadIOSize,
+			WriteIOPS: w / m.WriteIOSize,
+		}
+	}
+	return out
+}
+
+// scaleSeries returns base with reads scaled by rw and writes by ww.
+func scaleSeries(base []Sample, rw, ww float64) []Sample {
+	out := make([]Sample, len(base))
+	for i, s := range base {
+		out[i] = Sample{
+			ReadBps:   s.ReadBps * rw,
+			WriteBps:  s.WriteBps * ww,
+			ReadIOPS:  s.ReadIOPS * rw,
+			WriteIOPS: s.WriteIOPS * ww,
+		}
+	}
+	return out
+}
+
+// QPSeries generates the per-second traffic series of one queue pair: the
+// owning VD's series split by the model's per-QP weights.
+func (f *Fleet) QPSeries(qp cluster.QPID, durSec int) []Sample {
+	vd := f.Topology.VDOfQP(qp)
+	m := &f.Models[vd]
+	idx := qpIndex(f.Topology, vd, qp)
+	return scaleSeries(f.VDSeries(vd, durSec), m.QPWeightsRead[idx], m.QPWeightsWrite[idx])
+}
+
+// SplitQPSeries splits an already-generated VD series across that VD's QPs,
+// avoiding regenerating the VD series per queue pair.
+func (f *Fleet) SplitQPSeries(vd cluster.VDID, vdSeries []Sample) [][]Sample {
+	m := &f.Models[vd]
+	qps := f.Topology.VDs[vd].QPs
+	out := make([][]Sample, len(qps))
+	for i := range qps {
+		out[i] = scaleSeries(vdSeries, m.QPWeightsRead[i], m.QPWeightsWrite[i])
+	}
+	return out
+}
+
+// SegmentSeries generates the per-second traffic series of one segment.
+func (f *Fleet) SegmentSeries(seg cluster.SegmentID, durSec int) []Sample {
+	s := &f.Topology.Segments[seg]
+	m := &f.Models[s.VD]
+	return scaleSeries(f.VDSeries(s.VD, durSec), m.SegWeightsRead[s.Index], m.SegWeightsWrite[s.Index])
+}
+
+// qpIndex returns the position of qp within vd's QP list.
+func qpIndex(t *cluster.Topology, vd cluster.VDID, qp cluster.QPID) int {
+	for i, q := range t.VDs[vd].QPs {
+		if q == qp {
+			return i
+		}
+	}
+	panic("workload: QP not owned by VD")
+}
+
+// SegmentPeriodMatrix aggregates every segment's traffic into fixed periods:
+// the result is indexed [segment][period] and holds bytes moved during each
+// period. It streams one VD series at a time, so memory stays proportional
+// to segments x periods rather than segments x seconds. This is the input
+// the inter-BS balancer experiments (§6) consume.
+func (f *Fleet) SegmentPeriodMatrix(durSec, periodSec int) [][]RW {
+	if periodSec <= 0 || durSec <= 0 {
+		panic("workload: SegmentPeriodMatrix needs positive durations")
+	}
+	nPeriods := (durSec + periodSec - 1) / periodSec
+	out := make([][]RW, len(f.Topology.Segments))
+	for i := range out {
+		out[i] = make([]RW, nPeriods)
+	}
+	for vdIdx := range f.Topology.VDs {
+		vd := &f.Topology.VDs[vdIdx]
+		m := &f.Models[vdIdx]
+		series := f.VDSeries(cluster.VDID(vdIdx), durSec)
+		for t, s := range series {
+			p := t / periodSec
+			for j, seg := range vd.Segments {
+				out[seg][p].R += s.ReadBps * m.SegWeightsRead[j]
+				out[seg][p].W += s.WriteBps * m.SegWeightsWrite[j]
+			}
+		}
+	}
+	return out
+}
+
+// FineSlots spreads one second of a VD's traffic across slotsPerSec
+// sub-second slots and returns per-slot byte counts for reads and writes.
+// Persistent disks emit one contiguous run of slots whose phase drifts
+// slowly across seconds; scattered disks spray isolated spikes (reads more
+// concentrated than writes). The paper finds sub-period bursts defeat QP
+// rebinding (§4.3) — scattered disks are exactly that case. Deterministic
+// per (fleet seed, vd, sec).
+func (f *Fleet) FineSlots(vd cluster.VDID, sec int, slotsPerSec int, secSample Sample) (readBytes, writeBytes []float64) {
+	m := &f.Models[vd]
+	readBytes = make([]float64, slotsPerSec)
+	writeBytes = make([]float64, slotsPerSec)
+	if m.SlotPersistent {
+		// Contiguous run at a drifting phase; both directions share it (the
+		// application's activity window).
+		width := int(m.SlotRunFrac * float64(slotsPerSec))
+		if width < 1 {
+			width = 1
+		}
+		phase := math.Mod(m.SlotPhase+float64(sec)*m.SlotDrift, 1)
+		start := int(phase * float64(slotsPerSec))
+		for k := 0; k < width; k++ {
+			i := (start + k) % slotsPerSec
+			readBytes[i] = secSample.ReadBps / float64(width)
+			writeBytes[i] = secSample.WriteBps / float64(width)
+		}
+		return readBytes, writeBytes
+	}
+	rng := newRand(f.Cfg.Seed, tagEvents, uint64(vd)<<24|uint64(uint32(sec)))
+	rw := dirichletLike(rng, slotsPerSec, 0.05)
+	ww := dirichletLike(rng, slotsPerSec, 0.20)
+	for i := 0; i < slotsPerSec; i++ {
+		readBytes[i] = secSample.ReadBps * rw[i]
+		writeBytes[i] = secSample.WriteBps * ww[i]
+	}
+	return readBytes, writeBytes
+}
