@@ -1,0 +1,29 @@
+# Developer entry points. `make ci` is the gate: vet plus the full test
+# suite under the race detector on a short-window fleet (the tests build
+# their own small fleets, so the race run stays fast).
+
+GO ?= go
+
+.PHONY: all build test race vet bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector run. -short trims the slowest property tests where they
+# opt in; every fleet used by the tests is already small.
+race:
+	$(GO) test -race -short ./...
+
+# Engine scaling benchmark: the same simulation at 1, 2, and 4 workers.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkSimWorkers' -benchmem .
+
+ci: vet race

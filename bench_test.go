@@ -7,6 +7,8 @@
 package ebslab
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -102,7 +104,7 @@ func BenchmarkFig2d(b *testing.B) {
 	s := study(b)
 	var r core.Fig2dResult
 	for i := 0; i < b.N; i++ {
-		r = s.Fig2dRebinding(24, 10)
+		r = s.Fig2dRebinding(core.Fig2dOptions{MaxNodes: 24, WinSec: 10})
 	}
 	b.ReportMetric(100*r.FracImproved, "improved-pct")
 	b.ReportMetric(r.MedianGain, "median-gain")
@@ -112,7 +114,7 @@ func BenchmarkFig2ef(b *testing.B) {
 	s := study(b)
 	var r core.Fig2efResult
 	for i := 0; i < b.N; i++ {
-		r = s.Fig2efBurstSeries(16, 10)
+		r = s.Fig2efBurstSeries(core.Fig2efOptions{MaxNodes: 16, WinSec: 10})
 	}
 	b.ReportMetric(r.BurstyP2A, "bursty-p2a")
 	b.ReportMetric(r.CalmP2A, "calm-p2a")
@@ -150,7 +152,7 @@ func BenchmarkFig3de(b *testing.B) {
 	s := study(b)
 	var r core.Fig3deResult
 	for i := 0; i < b.N; i++ {
-		r = s.Fig3deReduction(false, nil)
+		r = s.Fig3deReduction(core.Fig3deOptions{})
 	}
 	b.ReportMetric(100*r.MedianRRTput[len(r.MedianRRTput)-1], "rr-tput-p08-pct")
 }
@@ -162,7 +164,7 @@ func BenchmarkFig3fg(b *testing.B) {
 		b.Run(rateName(p), func(b *testing.B) {
 			var r core.Fig3fgResult
 			for i := 0; i < b.N; i++ {
-				r = s.Fig3fgLendingGain(false, []float64{p}, 60)
+				r = s.Fig3fgLendingGain(core.Fig3fgOptions{Rates: []float64{p}, PeriodSec: 60})
 			}
 			b.ReportMetric(100*r.PosFrac[0], "positive-pct")
 		})
@@ -185,7 +187,7 @@ func BenchmarkFig4a(b *testing.B) {
 	s := study(b)
 	var r core.Fig4aResult
 	for i := 0; i < b.N; i++ {
-		r = s.Fig4aFrequentMigration(5, nil)
+		r = s.Fig4aFrequentMigration(core.Fig4aOptions{PeriodSec: 5})
 	}
 	b.ReportMetric(100*r.MaxProp[0], "max-freq-pct")
 }
@@ -194,7 +196,7 @@ func BenchmarkFig4b(b *testing.B) {
 	s := study(b)
 	var r core.Fig4bResult
 	for i := 0; i < b.N; i++ {
-		r = s.Fig4bImporterSelection(5)
+		r = s.Fig4bImporterSelection(core.Fig4bOptions{PeriodSec: 5})
 	}
 	b.ReportMetric(r.MedianInterval[len(r.MedianInterval)-1], "ideal-interval")
 }
@@ -203,7 +205,7 @@ func BenchmarkFig4c(b *testing.B) {
 	s := study(b)
 	var r core.Fig4cResult
 	for i := 0; i < b.N; i++ {
-		r = s.Fig4cPredictionMSE(5, 20)
+		r = s.Fig4cPredictionMSE(core.Fig4cOptions{PeriodSec: 5, EpochLen: 20})
 	}
 	b.ReportMetric(r.MeanNormMSE[1], "arima-nmse")
 	b.ReportMetric(r.MeanNormMSE[4], "attn-period-nmse")
@@ -213,7 +215,7 @@ func BenchmarkFig5a(b *testing.B) {
 	s := study(b)
 	var r core.Fig5aResult
 	for i := 0; i < b.N; i++ {
-		r = s.Fig5aReadWriteCoV(5)
+		r = s.Fig5aReadWriteCoV(core.Fig5aOptions{PeriodSec: 5})
 	}
 	b.ReportMetric(100*r.FracAboveDiagonal, "above-diag-pct")
 }
@@ -222,7 +224,7 @@ func BenchmarkFig5b(b *testing.B) {
 	s := study(b)
 	var r core.Fig5bResult
 	for i := 0; i < b.N; i++ {
-		r = s.Fig5bSegmentDominance(5)
+		r = s.Fig5bSegmentDominance(core.Fig5bOptions{PeriodSec: 5})
 	}
 	b.ReportMetric(100*r.FracAbove09, "one-sided-clusters-pct")
 }
@@ -231,7 +233,7 @@ func BenchmarkFig5c(b *testing.B) {
 	s := study(b)
 	var r core.Fig5cResult
 	for i := 0; i < b.N; i++ {
-		r = s.Fig5cWriteThenRead(5)
+		r = s.Fig5cWriteThenRead(core.Fig5cOptions{PeriodSec: 5})
 	}
 	b.ReportMetric(r.WTRReadCoV, "wtr-read-cov")
 	b.ReportMetric(r.WriteOnlyReadCoV, "wo-read-cov")
@@ -265,7 +267,7 @@ func benchFig6(b *testing.B, metric func(core.Fig6Result) (float64, string)) {
 	s := study(b)
 	var r core.Fig6Result
 	for i := 0; i < b.N; i++ {
-		r = s.Fig6HottestBlocks(16, 4000)
+		r = s.Fig6HottestBlocks(core.Fig6Options{MaxVDs: 16, MaxEventsPerVD: 4000})
 	}
 	v, name := metric(r)
 	b.ReportMetric(v, name)
@@ -275,7 +277,7 @@ func BenchmarkFig7a(b *testing.B) {
 	s := study(b)
 	var r core.Fig7aResult
 	for i := 0; i < b.N; i++ {
-		r = s.Fig7aHitRatio(12, 4000)
+		r = s.Fig7aHitRatio(core.Fig7aOptions{MaxVDs: 12, MaxEventsPerVD: 4000})
 	}
 	b.ReportMetric(100*r.LRUMed[0], "lru-64mib-pct")
 	b.ReportMetric(100*r.FCMed[len(r.FCMed)-1], "fc-2048mib-pct")
@@ -285,7 +287,7 @@ func BenchmarkFig7bc(b *testing.B) {
 	s := study(b)
 	var r core.Fig7bcResult
 	for i := 0; i < b.N; i++ {
-		r = s.Fig7bcLatencyGain(12, 4000, 2048)
+		r = s.Fig7bcLatencyGain(core.Fig7bcOptions{MaxVDs: 12, MaxEventsPerVD: 4000, BlockMiB: 2048})
 	}
 	b.ReportMetric(100*r.CNWrite[0], "cn-write-p0-pct")
 	b.ReportMetric(100*r.BSWrite[0], "bs-write-p0-pct")
@@ -295,7 +297,7 @@ func BenchmarkFig7d(b *testing.B) {
 	s := study(b)
 	var r core.Fig7dResult
 	for i := 0; i < b.N; i++ {
-		r = s.Fig7dSpaceUtilization(0.25)
+		r = s.Fig7dSpaceUtilization(core.Fig7dOptions{Threshold: 0.25})
 	}
 	b.ReportMetric(r.CNSpread[0], "cn-spread")
 	b.ReportMetric(r.BSSpread[0], "bs-spread")
@@ -316,7 +318,7 @@ func BenchmarkAblationRebindPeriod(b *testing.B) {
 				nodes := 0
 				improved := 0
 				cfg := hypervisor.RebindConfig{PeriodSlots: period, Trigger: 1.2, EvalSlots: 100}
-				r := s.RebindWithConfig(16, 10, cfg)
+				r := s.RebindWithConfig(core.RebindOptions{MaxNodes: 16, WinSec: 10, Config: cfg})
 				for _, p := range r.Points {
 					nodes++
 					if p.Gain < 0.999 {
@@ -355,7 +357,7 @@ func BenchmarkAblationDispatch(b *testing.B) {
 		b.Run(policy.String(), func(b *testing.B) {
 			var r core.DispatchAblation
 			for i := 0; i < b.N; i++ {
-				r = s.AblateDispatch(16, 10, policy)
+				r = s.AblateDispatch(core.DispatchOptions{MaxNodes: 16, WinSec: 10, Policy: policy})
 			}
 			b.ReportMetric(r.MedianCoV, "median-wt-cov")
 			b.ReportMetric(float64(r.SyncOps), "sync-ops")
@@ -367,13 +369,13 @@ func BenchmarkAblationDispatch(b *testing.B) {
 // Fig 4(b) study) as one benchmark per policy.
 func BenchmarkAblationImporter(b *testing.B) {
 	s := study(b)
-	r := s.Fig4bImporterSelection(5)
+	r := s.Fig4bImporterSelection(core.Fig4bOptions{PeriodSec: 5})
 	for i, name := range r.Policies {
 		i := i
 		b.Run(name, func(b *testing.B) {
 			var v float64
 			for j := 0; j < b.N; j++ {
-				rr := s.Fig4bImporterSelection(5)
+				rr := s.Fig4bImporterSelection(core.Fig4bOptions{PeriodSec: 5})
 				v = rr.MedianInterval[i]
 			}
 			b.ReportMetric(v, "median-interval")
@@ -386,7 +388,7 @@ func BenchmarkAblationHosting(b *testing.B) {
 	s := study(b)
 	var r core.HostingAblation
 	for i := 0; i < b.N; i++ {
-		r = s.AblateHosting(12, 6)
+		r = s.AblateHosting(core.HostingOptions{MaxNodes: 12, WinSec: 6})
 	}
 	for mode, iso := range r.MedianIsolation {
 		b.ReportMetric(iso, mode.String()+"-isolation")
@@ -398,7 +400,7 @@ func BenchmarkAblationCachePolicy(b *testing.B) {
 	s := study(b)
 	var r core.CachePolicyAblation
 	for i := 0; i < b.N; i++ {
-		r = s.AblateCachePolicy(10, 4000, 256)
+		r = s.AblateCachePolicy(core.CachePolicyOptions{MaxVDs: 10, MaxEventsPerVD: 4000, BlockMiB: 256})
 	}
 	for _, name := range []string{"fifo", "clock", "lru", "frozen"} {
 		b.ReportMetric(100*r.Median[name], name+"-hit-pct")
@@ -410,7 +412,7 @@ func BenchmarkAblationPredictors(b *testing.B) {
 	s := study(b)
 	var r core.PredictorAblation
 	for i := 0; i < b.N; i++ {
-		r = s.AblatePredictors(10)
+		r = s.AblatePredictors(core.PredictorOptions{PeriodSec: 10})
 	}
 	for i, m := range r.Methods {
 		b.ReportMetric(r.Median[i], m+"-nmse")
@@ -422,7 +424,7 @@ func BenchmarkAblationFailover(b *testing.B) {
 	s := study(b)
 	var r core.FailoverAblation
 	for i := 0; i < b.N; i++ {
-		r = s.AblateFailover(10)
+		r = s.AblateFailover(core.FailoverOptions{PeriodSec: 10})
 	}
 	b.ReportMetric(r.Greedy.MaxOverload, "greedy-overload")
 	b.ReportMetric(r.Random.MaxOverload, "random-overload")
@@ -443,6 +445,32 @@ func BenchmarkEndToEnd(b *testing.B) {
 		total = len(ds.Trace)
 	}
 	b.ReportMetric(float64(total), "ios-per-run")
+}
+
+// BenchmarkSimWorkers measures the sharded engine's scaling: the same
+// simulation at 1, 2, and 4 workers. Output is identical across
+// sub-benchmarks; only the wall-clock time should drop with parallelism
+// (expect roughly linear gains on idle multicore hardware).
+func BenchmarkSimWorkers(b *testing.B) {
+	s := study(b)
+	sim := ebs.New(s.Fleet)
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var total int
+			for i := 0; i < b.N; i++ {
+				ds, err := sim.RunContext(context.Background(), ebs.Options{
+					DurationSec: 10, TraceSampleEvery: 1, EventSampleEvery: 16,
+					MaxVDs: 40, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = len(ds.Trace)
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds()*float64(b.N), "ios-per-sec")
+		})
+	}
 }
 
 // BenchmarkSeriesGeneration measures the raw traffic generator.

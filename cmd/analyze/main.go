@@ -12,7 +12,6 @@ import (
 	"time"
 
 	"ebslab/internal/core"
-	"ebslab/internal/guestcache"
 	"ebslab/internal/workload"
 )
 
@@ -61,8 +60,8 @@ func main() {
 			b.WriteString(study.Fig2aWTCoV(nil).Render())
 			b.WriteString(study.Fig2bThreeTier().Render())
 			b.WriteString(study.Fig2cHottestQP().Render())
-			b.WriteString(study.Fig2dRebinding(0, 0).Render())
-			b.WriteString(study.Fig2efBurstSeries(0, 0).Render())
+			b.WriteString(study.Fig2dRebinding(core.Fig2dOptions{}).Render())
+			b.WriteString(study.Fig2efBurstSeries(core.Fig2efOptions{}).Render())
 			return b.String()
 		}},
 		{"f3", func() string {
@@ -70,41 +69,41 @@ func main() {
 			b.WriteString(study.Fig3aSingleVDCase().Render())
 			b.WriteString(study.Fig3bRAR(false).Render())
 			b.WriteString(study.Fig3bRAR(true).Render())
-			b.WriteString(study.Fig3deReduction(false, nil).Render())
-			b.WriteString(study.Fig3fgLendingGain(false, nil, 0).Render())
-			b.WriteString(study.Fig3fgLendingGain(true, nil, 0).Render())
+			b.WriteString(study.Fig3deReduction(core.Fig3deOptions{}).Render())
+			b.WriteString(study.Fig3fgLendingGain(core.Fig3fgOptions{}).Render())
+			b.WriteString(study.Fig3fgLendingGain(core.Fig3fgOptions{MultiVMNode: true}).Render())
 			return b.String()
 		}},
 		{"f4", func() string {
 			var b strings.Builder
-			b.WriteString(study.Fig4aFrequentMigration(0, nil).Render())
-			b.WriteString(study.Fig4bImporterSelection(0).Render())
-			b.WriteString(study.Fig4cPredictionMSE(0, 0).Render())
+			b.WriteString(study.Fig4aFrequentMigration(core.Fig4aOptions{}).Render())
+			b.WriteString(study.Fig4bImporterSelection(core.Fig4bOptions{}).Render())
+			b.WriteString(study.Fig4cPredictionMSE(core.Fig4cOptions{}).Render())
 			return b.String()
 		}},
 		{"f5", func() string {
 			var b strings.Builder
-			b.WriteString(study.Fig5aReadWriteCoV(0).Render())
-			b.WriteString(study.Fig5bSegmentDominance(0).Render())
-			b.WriteString(study.Fig5cWriteThenRead(0).Render())
+			b.WriteString(study.Fig5aReadWriteCoV(core.Fig5aOptions{}).Render())
+			b.WriteString(study.Fig5bSegmentDominance(core.Fig5bOptions{}).Render())
+			b.WriteString(study.Fig5cWriteThenRead(core.Fig5cOptions{}).Render())
 			return b.String()
 		}},
-		{"f6", func() string { return study.Fig6HottestBlocks(0, 0).Render() }},
+		{"f6", func() string { return study.Fig6HottestBlocks(core.Fig6Options{}).Render() }},
 		{"f7", func() string {
 			var b strings.Builder
-			b.WriteString(study.Fig7aHitRatio(0, 0).Render())
-			b.WriteString(study.Fig7bcLatencyGain(0, 0, 0).Render())
-			b.WriteString(study.Fig7dSpaceUtilization(0).Render())
+			b.WriteString(study.Fig7aHitRatio(core.Fig7aOptions{}).Render())
+			b.WriteString(study.Fig7bcLatencyGain(core.Fig7bcOptions{}).Render())
+			b.WriteString(study.Fig7dSpaceUtilization(core.Fig7dOptions{}).Render())
 			return b.String()
 		}},
 		{"ab", func() string {
 			var b strings.Builder
-			b.WriteString(study.AblateHosting(0, 0).Render())
-			b.WriteString(study.AblateCachePolicy(0, 0, 0).Render())
-			b.WriteString(study.AblateCacheDeployment(0, 0, 0, 0).Render())
-			b.WriteString(study.AblatePredictors(0).Render())
-			b.WriteString(study.AblateFailover(0).Render())
-			b.WriteString(study.StudyPageCache(0, 0, 0, guestcache.Config{}).Render())
+			b.WriteString(study.AblateHosting(core.HostingOptions{}).Render())
+			b.WriteString(study.AblateCachePolicy(core.CachePolicyOptions{}).Render())
+			b.WriteString(study.AblateCacheDeployment(core.CacheDeploymentOptions{}).Render())
+			b.WriteString(study.AblatePredictors(core.PredictorOptions{}).Render())
+			b.WriteString(study.AblateFailover(core.FailoverOptions{}).Render())
+			b.WriteString(study.StudyPageCache(core.PageCacheOptions{}).Render())
 			return b.String()
 		}},
 	}

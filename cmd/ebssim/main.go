@@ -4,9 +4,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 
 	"ebslab/internal/cluster"
@@ -18,10 +20,12 @@ import (
 
 func main() {
 	var (
-		seed   = flag.Int64("seed", 1, "fleet generation seed")
-		dur    = flag.Int("dur", 60, "observation window seconds")
-		nodes  = flag.Int("nodes", 16, "compute nodes per DC")
-		maxVDs = flag.Int("max-vds", 120, "virtual disks to simulate (0 = all)")
+		seed    = flag.Int64("seed", 1, "fleet generation seed")
+		dur     = flag.Int("dur", 60, "observation window seconds")
+		nodes   = flag.Int("nodes", 16, "compute nodes per DC")
+		maxVDs  = flag.Int("max-vds", 120, "virtual disks to simulate (0 = all)")
+		workers = flag.Int("workers", 0, "simulation workers (0 = one per CPU)")
+		verbose = flag.Bool("progress", false, "print simulation progress")
 	)
 	flag.Parse()
 
@@ -39,12 +43,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ebssim:", err)
 		os.Exit(1)
 	}
-	ds, err := ebs.New(fleet).Run(ebs.Options{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts := ebs.Options{
 		DurationSec:      *dur,
 		TraceSampleEvery: 1,
 		EventSampleEvery: 8,
 		MaxVDs:           *maxVDs,
-	})
+		Workers:          *workers,
+	}
+	if *verbose {
+		opts.Progress = func(done, total int) {
+			if done%50 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "simulated %d/%d VDs\n", done, total)
+			}
+		}
+	}
+	ds, err := ebs.New(fleet).RunContext(ctx, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ebssim:", err)
 		os.Exit(1)

@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -41,9 +42,12 @@ func main() {
 	fmt.Println()
 	fmt.Print(study.Table3Baseline().Render())
 
-	// 3. End-to-end IO: simulate 30 seconds and look at latency.
-	ds, err := ebs.New(fleet).Run(ebs.Options{
+	// 3. End-to-end IO: simulate 30 seconds across all CPUs and look at
+	// latency. The worker count never changes the result, only the
+	// wall-clock time.
+	ds, err := ebs.New(fleet).RunContext(context.Background(), ebs.Options{
 		DurationSec: 30, TraceSampleEvery: 1, EventSampleEvery: 8, MaxVDs: 30,
+		Workers: 0, // one worker per CPU
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -24,7 +24,11 @@ func newStdRand(seed int64) *stdRand { return rand.New(rand.NewSource(seed)) }
 // RebindWithConfig reruns the Fig 2(d) rebinding study under an explicit
 // rebinding configuration — the ablation knob for the rebinding period and
 // trigger threshold.
-func (s *Study) RebindWithConfig(maxNodes, winSec int, cfg hypervisor.RebindConfig) Fig2dResult {
+func (s *Study) RebindWithConfig(opt RebindOptions) Fig2dResult {
+	maxNodes, winSec, cfg := opt.MaxNodes, opt.WinSec, opt.Config
+	if cfg == (hypervisor.RebindConfig{}) {
+		cfg = hypervisor.DefaultRebindConfig()
+	}
 	if maxNodes <= 0 {
 		maxNodes = 40
 	}
@@ -63,7 +67,8 @@ type DispatchAblation struct {
 
 // AblateDispatch replays per-QP slot traffic of the busiest nodes under one
 // dispatch policy (single-WT hosting vs per-IO dispatch).
-func (s *Study) AblateDispatch(maxNodes, winSec int, policy hypervisor.DispatchPolicy) DispatchAblation {
+func (s *Study) AblateDispatch(opt DispatchOptions) DispatchAblation {
+	maxNodes, winSec, policy := opt.MaxNodes, opt.WinSec, opt.Policy
 	if maxNodes <= 0 {
 		maxNodes = 40
 	}
@@ -98,7 +103,8 @@ type HostingAblation struct {
 
 // AblateHosting replays each busy node's sampled IO events through both
 // hosting models and compares median wait and isolation.
-func (s *Study) AblateHosting(maxNodes, winSec int) HostingAblation {
+func (s *Study) AblateHosting(opt HostingOptions) HostingAblation {
+	maxNodes, winSec := opt.MaxNodes, opt.WinSec
 	if maxNodes <= 0 {
 		maxNodes = 24
 	}
@@ -179,7 +185,8 @@ type CachePolicyAblation struct {
 
 // AblateCachePolicy replays study VDs through four cache policies at one
 // block size.
-func (s *Study) AblateCachePolicy(maxVDs, maxEventsPerVD int, blockMiB int64) CachePolicyAblation {
+func (s *Study) AblateCachePolicy(opt CachePolicyOptions) CachePolicyAblation {
+	maxVDs, maxEventsPerVD, blockMiB := opt.MaxVDs, opt.MaxEventsPerVD, opt.BlockMiB
 	if maxVDs <= 0 {
 		maxVDs = 24
 	}
@@ -244,8 +251,8 @@ type PredictorAblation struct {
 
 // AblatePredictors evaluates every implemented predictor at per-period
 // refit cadence.
-func (s *Study) AblatePredictors(periodSec int) PredictorAblation {
-	cts := s.clusterTraffics(periodSec)
+func (s *Study) AblatePredictors(opt PredictorOptions) PredictorAblation {
+	cts := s.clusterTraffics(opt.PeriodSec)
 	var series [][]float64
 	for _, ct := range cts {
 		future := bsWriteMatrix(ct)
@@ -300,7 +307,9 @@ type DeploymentAblation struct {
 
 // AblateCacheDeployment evaluates the three deployments over the cacheable
 // study VDs.
-func (s *Study) AblateCacheDeployment(maxVDs, maxEventsPerVD int, blockMiB int64, cnFrac float64) DeploymentAblation {
+func (s *Study) AblateCacheDeployment(opt CacheDeploymentOptions) DeploymentAblation {
+	maxVDs, maxEventsPerVD := opt.MaxVDs, opt.MaxEventsPerVD
+	blockMiB, cnFrac := opt.BlockMiB, opt.CNFrac
 	if maxVDs <= 0 {
 		maxVDs = 16
 	}
@@ -375,8 +384,8 @@ type FailoverAblation struct {
 
 // AblateFailover kills the hottest BlockServer of the busiest cluster at
 // mid-window and redistributes its segments under both policies.
-func (s *Study) AblateFailover(periodSec int) FailoverAblation {
-	cts := s.clusterTraffics(periodSec)
+func (s *Study) AblateFailover(opt FailoverOptions) FailoverAblation {
+	cts := s.clusterTraffics(opt.PeriodSec)
 	victimCluster := s.worstCluster(cts)
 	ct := cts[victimCluster]
 	period := ct.NPeriods / 2

@@ -10,8 +10,8 @@ import (
 
 func TestRebindWithConfigPeriodSweep(t *testing.T) {
 	s := study(t)
-	short := s.RebindWithConfig(12, 8, hypervisor.RebindConfig{PeriodSlots: 1, Trigger: 1.2, EvalSlots: 5})
-	long := s.RebindWithConfig(12, 8, hypervisor.RebindConfig{PeriodSlots: 50, Trigger: 1.2, EvalSlots: 5})
+	short := s.RebindWithConfig(RebindOptions{MaxNodes: 12, WinSec: 8, Config: hypervisor.RebindConfig{PeriodSlots: 1, Trigger: 1.2, EvalSlots: 5}})
+	long := s.RebindWithConfig(RebindOptions{MaxNodes: 12, WinSec: 8, Config: hypervisor.RebindConfig{PeriodSlots: 50, Trigger: 1.2, EvalSlots: 5}})
 	if len(short.Points) == 0 || len(long.Points) == 0 {
 		t.Skip("no active nodes in sample")
 	}
@@ -25,8 +25,8 @@ func TestRebindWithConfigPeriodSweep(t *testing.T) {
 
 func TestAblateDispatchOrdering(t *testing.T) {
 	s := study(t)
-	single := s.AblateDispatch(12, 8, hypervisor.DispatchSingleWT)
-	least := s.AblateDispatch(12, 8, hypervisor.DispatchLeastLoaded)
+	single := s.AblateDispatch(DispatchOptions{MaxNodes: 12, WinSec: 8, Policy: hypervisor.DispatchSingleWT})
+	least := s.AblateDispatch(DispatchOptions{MaxNodes: 12, WinSec: 8, Policy: hypervisor.DispatchLeastLoaded})
 	if single.Nodes == 0 {
 		t.Skip("no active nodes")
 	}
@@ -46,7 +46,7 @@ func TestAblateDispatchOrdering(t *testing.T) {
 
 func TestAblateHosting(t *testing.T) {
 	s := study(t)
-	r := s.AblateHosting(12, 6)
+	r := s.AblateHosting(HostingOptions{MaxNodes: 12, WinSec: 6})
 	if r.Nodes == 0 {
 		t.Skip("no nodes with enough sampled IO")
 	}
@@ -63,7 +63,7 @@ func TestAblateHosting(t *testing.T) {
 
 func TestAblateCachePolicy(t *testing.T) {
 	s := study(t)
-	r := s.AblateCachePolicy(10, 4000, 256)
+	r := s.AblateCachePolicy(CachePolicyOptions{MaxVDs: 10, MaxEventsPerVD: 4000, BlockMiB: 256})
 	for _, name := range []string{"fifo", "lru", "clock", "frozen"} {
 		v, ok := r.Median[name]
 		if !ok {
@@ -84,7 +84,7 @@ func TestAblateCachePolicy(t *testing.T) {
 
 func TestAblateFailover(t *testing.T) {
 	s := study(t)
-	r := s.AblateFailover(10)
+	r := s.AblateFailover(FailoverOptions{PeriodSec: 10})
 	if r.Greedy.Moved == 0 || r.Random.Moved != r.Greedy.Moved {
 		t.Fatalf("moved counts: greedy %d, random %d", r.Greedy.Moved, r.Random.Moved)
 	}
@@ -101,7 +101,7 @@ func TestAblateFailover(t *testing.T) {
 
 func TestAblatePredictors(t *testing.T) {
 	s := study(t)
-	r := s.AblatePredictors(10)
+	r := s.AblatePredictors(PredictorOptions{PeriodSec: 10})
 	if len(r.Methods) != 7 {
 		t.Fatalf("methods = %v", r.Methods)
 	}
@@ -124,7 +124,7 @@ func TestAblatePredictors(t *testing.T) {
 
 func TestAblateCacheDeployment(t *testing.T) {
 	s := study(t)
-	r := s.AblateCacheDeployment(12, 5000, 2048, 0.25)
+	r := s.AblateCacheDeployment(CacheDeploymentOptions{MaxVDs: 12, MaxEventsPerVD: 5000, BlockMiB: 2048, CNFrac: 0.25})
 	if r.VDs == 0 {
 		t.Skip("no study VDs")
 	}

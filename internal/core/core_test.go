@@ -206,7 +206,7 @@ func TestFig2cShapes(t *testing.T) {
 
 func TestFig2dShapes(t *testing.T) {
 	s := study(t)
-	r := s.Fig2dRebinding(30, 10)
+	r := s.Fig2dRebinding(Fig2dOptions{MaxNodes: 30, WinSec: 10})
 	if len(r.Points) == 0 {
 		t.Fatal("no rebinding points")
 	}
@@ -226,7 +226,7 @@ func TestFig2dShapes(t *testing.T) {
 
 func TestFig2efShapes(t *testing.T) {
 	s := study(t)
-	r := s.Fig2efBurstSeries(20, 10)
+	r := s.Fig2efBurstSeries(Fig2efOptions{MaxNodes: 20, WinSec: 10})
 	if len(r.BurstySeries) == 0 || len(r.CalmSeries) == 0 {
 		t.Fatal("missing series")
 	}
@@ -291,7 +291,7 @@ func TestFig3bShapes(t *testing.T) {
 
 func TestFig3deShapes(t *testing.T) {
 	s := study(t)
-	r := s.Fig3deReduction(false, nil)
+	r := s.Fig3deReduction(Fig3deOptions{})
 	if len(r.Rates) != 4 {
 		t.Fatalf("rates = %v", r.Rates)
 	}
@@ -313,7 +313,7 @@ func TestFig3deShapes(t *testing.T) {
 
 func TestFig3fgShapes(t *testing.T) {
 	s := study(t)
-	r := s.Fig3fgLendingGain(false, []float64{0.4, 0.8}, 60)
+	r := s.Fig3fgLendingGain(Fig3fgOptions{Rates: []float64{0.4, 0.8}, PeriodSec: 60})
 	if r.Groups == 0 {
 		t.Skip("no throttled groups")
 	}
@@ -334,7 +334,7 @@ func TestFig3fgShapes(t *testing.T) {
 
 func TestFig4aShapes(t *testing.T) {
 	s := study(t)
-	r := s.Fig4aFrequentMigration(5, []int{1, 2, 4})
+	r := s.Fig4aFrequentMigration(Fig4aOptions{PeriodSec: 5, Windows: []int{1, 2, 4}})
 	if len(r.WindowPeriods) != 3 {
 		t.Fatalf("windows = %v", r.WindowPeriods)
 	}
@@ -359,7 +359,7 @@ func TestFig4aShapes(t *testing.T) {
 
 func TestFig4bShapes(t *testing.T) {
 	s := study(t)
-	r := s.Fig4bImporterSelection(5)
+	r := s.Fig4bImporterSelection(Fig4bOptions{PeriodSec: 5})
 	if len(r.Policies) != 5 {
 		t.Fatalf("policies = %v", r.Policies)
 	}
@@ -380,7 +380,7 @@ func TestFig4bShapes(t *testing.T) {
 
 func TestFig4cShapes(t *testing.T) {
 	s := study(t)
-	r := s.Fig4cPredictionMSE(5, 20)
+	r := s.Fig4cPredictionMSE(Fig4cOptions{PeriodSec: 5, EpochLen: 20})
 	if len(r.Methods) != 5 {
 		t.Fatalf("methods = %v", r.Methods)
 	}
@@ -408,7 +408,7 @@ func TestFig4cShapes(t *testing.T) {
 
 func TestFig5aShapes(t *testing.T) {
 	s := study(t)
-	r := s.Fig5aReadWriteCoV(5)
+	r := s.Fig5aReadWriteCoV(Fig5aOptions{PeriodSec: 5})
 	if len(r.ReadCoV) == 0 {
 		t.Fatal("no clusters measured")
 	}
@@ -423,7 +423,7 @@ func TestFig5aShapes(t *testing.T) {
 
 func TestFig5bShapes(t *testing.T) {
 	s := study(t)
-	r := s.Fig5bSegmentDominance(5)
+	r := s.Fig5bSegmentDominance(Fig5bOptions{PeriodSec: 5})
 	if len(r.MedianAbsWr) == 0 {
 		t.Fatal("no clusters measured")
 	}
@@ -443,7 +443,7 @@ func TestFig5bShapes(t *testing.T) {
 
 func TestFig5cShapes(t *testing.T) {
 	s := study(t)
-	r := s.Fig5cWriteThenRead(5)
+	r := s.Fig5cWriteThenRead(Fig5cOptions{PeriodSec: 5})
 	// Write-then-read must not leave read balance worse, and must not
 	// meaningfully hurt write balance (§6.2.2's surprise: it helps).
 	if !(r.WTRReadCoV <= r.WriteOnlyReadCoV+0.05) {
@@ -462,7 +462,7 @@ func TestFig5cShapes(t *testing.T) {
 
 func TestFig6Shapes(t *testing.T) {
 	s := study(t)
-	r := s.Fig6HottestBlocks(24, 6000)
+	r := s.Fig6HottestBlocks(Fig6Options{MaxVDs: 24, MaxEventsPerVD: 6000})
 	if r.VDs == 0 {
 		t.Fatal("no study VDs")
 	}
@@ -494,7 +494,7 @@ func TestFig6Shapes(t *testing.T) {
 
 func TestFig7aShapes(t *testing.T) {
 	s := study(t)
-	r := s.Fig7aHitRatio(16, 6000)
+	r := s.Fig7aHitRatio(Fig7aOptions{MaxVDs: 16, MaxEventsPerVD: 6000})
 	last := len(r.BlockMiB) - 1
 	// §7.3.1: sequential-write hotspots make FIFO ~= LRU.
 	for i := range r.BlockMiB {
@@ -517,7 +517,7 @@ func TestFig7aShapes(t *testing.T) {
 
 func TestFig7bcShapes(t *testing.T) {
 	s := study(t)
-	r := s.Fig7bcLatencyGain(16, 5000, 2048)
+	r := s.Fig7bcLatencyGain(Fig7bcOptions{MaxVDs: 16, MaxEventsPerVD: 5000, BlockMiB: 2048})
 	// CN-cache p0 gain is far stronger than BS-cache p0 gain (it skips the
 	// whole storage cluster).
 	if !math.IsNaN(r.CNWrite[0]) && !math.IsNaN(r.BSWrite[0]) {
@@ -540,7 +540,7 @@ func TestFig7bcShapes(t *testing.T) {
 
 func TestFig7dShapes(t *testing.T) {
 	s := study(t)
-	r := s.Fig7dSpaceUtilization(0.25)
+	r := s.Fig7dSpaceUtilization(Fig7dOptions{Threshold: 0.25})
 	if len(r.BlockMiB) == 0 {
 		t.Fatal("no block sizes")
 	}

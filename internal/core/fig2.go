@@ -287,13 +287,12 @@ type Fig2dResult struct {
 // the fraction of nodes rebinding can actually help).
 const rebindSampleEvery = trace.SampleRate / 4
 
-// Fig2dRebinding simulates 10 ms QP-to-WT rebinding on up to maxNodes of
-// the busiest multi-QP nodes over winSec seconds. Exactly like the paper's
-// §4.3 simulation, the input is the *sampled* trace: per-10 ms traffic is a
-// sparse spike train, which is what makes periodic rebinding mostly chase
-// bursts it has already missed.
-func (s *Study) Fig2dRebinding(maxNodes, winSec int) Fig2dResult {
-	return s.rebindingWithSampling(maxNodes, winSec, rebindSampleEvery)
+// Fig2dRebinding simulates 10 ms QP-to-WT rebinding on the busiest
+// multi-QP nodes. Exactly like the paper's §4.3 simulation, the input is
+// the *sampled* trace: per-10 ms traffic is a sparse spike train, which is
+// what makes periodic rebinding mostly chase bursts it has already missed.
+func (s *Study) Fig2dRebinding(opt Fig2dOptions) Fig2dResult {
+	return s.rebindingWithSampling(opt.MaxNodes, opt.WinSec, rebindSampleEvery)
 }
 
 func (s *Study) rebindingWithSampling(maxNodes, winSec, sampleEvery int) Fig2dResult {
@@ -432,7 +431,8 @@ type Fig2efResult struct {
 // Fig2efBurstSeries reruns the rebinding study and picks the node whose
 // hottest-WT 10 ms series has the highest P2A (bursty) and the lowest
 // (calm), returning both series.
-func (s *Study) Fig2efBurstSeries(maxNodes, winSec int) Fig2efResult {
+func (s *Study) Fig2efBurstSeries(opt Fig2efOptions) Fig2efResult {
+	maxNodes, winSec := opt.MaxNodes, opt.WinSec
 	if maxNodes <= 0 {
 		maxNodes = 40
 	}

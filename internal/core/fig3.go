@@ -243,7 +243,8 @@ type Fig3deResult struct {
 
 // Fig3deReduction evaluates Equation 3 at every throttle event for several
 // lending rates.
-func (s *Study) Fig3deReduction(multiVMNode bool, rates []float64) Fig3deResult {
+func (s *Study) Fig3deReduction(opt Fig3deOptions) Fig3deResult {
+	multiVMNode, rates := opt.MultiVMNode, opt.Rates
 	if len(rates) == 0 {
 		rates = []float64{0.2, 0.4, 0.6, 0.8}
 	}
@@ -301,7 +302,8 @@ type Fig3fgResult struct {
 
 // Fig3fgLendingGain simulates Appendix B lending over all groups at several
 // rates.
-func (s *Study) Fig3fgLendingGain(multiVMNode bool, rates []float64, periodSec int) Fig3fgResult {
+func (s *Study) Fig3fgLendingGain(opt Fig3fgOptions) Fig3fgResult {
+	multiVMNode, rates, periodSec := opt.MultiVMNode, opt.Rates, opt.PeriodSec
 	if len(rates) == 0 {
 		rates = []float64{0.2, 0.4, 0.6, 0.8}
 	}

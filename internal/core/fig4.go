@@ -101,11 +101,12 @@ type Fig4aResult struct {
 // Fig4aFrequentMigration runs the production balancer (MinTraffic importer)
 // on every storage cluster and measures frequent-migration proportions at
 // several window scales (expressed in periods).
-func (s *Study) Fig4aFrequentMigration(periodSec int, windows []int) Fig4aResult {
+func (s *Study) Fig4aFrequentMigration(opt Fig4aOptions) Fig4aResult {
+	windows := opt.Windows
 	if len(windows) == 0 {
 		windows = []int{1, 2, 4}
 	}
-	cts := s.clusterTraffics(periodSec)
+	cts := s.clusterTraffics(opt.PeriodSec)
 	res := Fig4aResult{WindowPeriods: windows}
 	migs := make([][]balancer.Migration, len(cts))
 	for i, ct := range cts {
@@ -167,8 +168,8 @@ type Fig4bResult struct {
 // Fig4bImporterSelection runs the five importer policies of §6.1.2 on the
 // storage cluster with the most frequent migrations under the production
 // policy.
-func (s *Study) Fig4bImporterSelection(periodSec int) Fig4bResult {
-	cts := s.clusterTraffics(periodSec)
+func (s *Study) Fig4bImporterSelection(opt Fig4bOptions) Fig4bResult {
+	cts := s.clusterTraffics(opt.PeriodSec)
 	victim := s.worstCluster(cts)
 	ct := cts[victim]
 	policies := []balancer.ImporterPolicy{
@@ -233,11 +234,12 @@ type Fig4cResult struct {
 // (per-period), P3 GBT (per-epoch), P4 attention (per-epoch), P5 attention
 // (per-period). epochLen scales the paper's 200-period epoch to our shorter
 // window.
-func (s *Study) Fig4cPredictionMSE(periodSec, epochLen int) Fig4cResult {
+func (s *Study) Fig4cPredictionMSE(opt Fig4cOptions) Fig4cResult {
+	epochLen := opt.EpochLen
 	if epochLen <= 0 {
 		epochLen = 30
 	}
-	cts := s.clusterTraffics(periodSec)
+	cts := s.clusterTraffics(opt.PeriodSec)
 	// Per-BS write series across all clusters (under the initial placement).
 	var series [][]float64
 	for _, ct := range cts {

@@ -85,7 +85,8 @@ type Fig6Result struct {
 }
 
 // Fig6HottestBlocks analyzes LBA hotspots over the busiest maxVDs disks.
-func (s *Study) Fig6HottestBlocks(maxVDs, maxEventsPerVD int) Fig6Result {
+func (s *Study) Fig6HottestBlocks(opt Fig6Options) Fig6Result {
+	maxVDs, maxEventsPerVD := opt.MaxVDs, opt.MaxEventsPerVD
 	if maxVDs <= 0 {
 		maxVDs = 48
 	}

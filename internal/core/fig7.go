@@ -24,7 +24,8 @@ type Fig7aResult struct {
 // Fig7aHitRatio replays each study VD's IO stream through FIFO, LRU and a
 // frozen cache sized to each block size; the frozen cache pins the VD's
 // hottest block of that size, matching §7.3.1's setup.
-func (s *Study) Fig7aHitRatio(maxVDs, maxEventsPerVD int) Fig7aResult {
+func (s *Study) Fig7aHitRatio(opt Fig7aOptions) Fig7aResult {
+	maxVDs, maxEventsPerVD := opt.MaxVDs, opt.MaxEventsPerVD
 	if maxVDs <= 0 {
 		maxVDs = 32
 	}
@@ -88,7 +89,8 @@ type Fig7bcResult struct {
 // Fig7bcLatencyGain evaluates frozen-cache latency gains at both deployment
 // locations over the study VDs, using the given frozen-cache block size
 // (2048 MiB in the paper's FC experiments).
-func (s *Study) Fig7bcLatencyGain(maxVDs, maxEventsPerVD int, blockMiB int64) Fig7bcResult {
+func (s *Study) Fig7bcLatencyGain(opt Fig7bcOptions) Fig7bcResult {
+	maxVDs, maxEventsPerVD, blockMiB := opt.MaxVDs, opt.MaxEventsPerVD, opt.BlockMiB
 	if maxVDs <= 0 {
 		maxVDs = 24
 	}
@@ -183,7 +185,8 @@ type Fig7dResult struct {
 // Fig7dSpaceUtilization counts cacheable VDs (hottest-block access rate
 // above threshold, using the generator's ground-truth hotspot model) per
 // compute node and per BlockServer, and compares the spreads.
-func (s *Study) Fig7dSpaceUtilization(threshold float64) Fig7dResult {
+func (s *Study) Fig7dSpaceUtilization(opt Fig7dOptions) Fig7dResult {
+	threshold := opt.Threshold
 	if threshold <= 0 {
 		threshold = 0.25
 	}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"ebslab/internal/guestcache"
+	"ebslab/internal/hypervisor"
+)
+
+// This file keeps the old positional Study signatures alive for one
+// release under a Legacy suffix. Every wrapper forwards to the option-
+// struct form; new code should call that form directly and name only the
+// knobs it changes.
+
+// Fig2dRebindingLegacy is the positional form of Fig2dRebinding.
+//
+// Deprecated: use Fig2dRebinding(Fig2dOptions{...}).
+func (s *Study) Fig2dRebindingLegacy(maxNodes, winSec int) Fig2dResult {
+	return s.Fig2dRebinding(Fig2dOptions{MaxNodes: maxNodes, WinSec: winSec})
+}
+
+// Fig2efBurstSeriesLegacy is the positional form of Fig2efBurstSeries.
+//
+// Deprecated: use Fig2efBurstSeries(Fig2efOptions{...}).
+func (s *Study) Fig2efBurstSeriesLegacy(maxNodes, winSec int) Fig2efResult {
+	return s.Fig2efBurstSeries(Fig2efOptions{MaxNodes: maxNodes, WinSec: winSec})
+}
+
+// Fig3deReductionLegacy is the positional form of Fig3deReduction.
+//
+// Deprecated: use Fig3deReduction(Fig3deOptions{...}).
+func (s *Study) Fig3deReductionLegacy(multiVMNode bool, rates []float64) Fig3deResult {
+	return s.Fig3deReduction(Fig3deOptions{MultiVMNode: multiVMNode, Rates: rates})
+}
+
+// Fig3fgLendingGainLegacy is the positional form of Fig3fgLendingGain.
+//
+// Deprecated: use Fig3fgLendingGain(Fig3fgOptions{...}).
+func (s *Study) Fig3fgLendingGainLegacy(multiVMNode bool, rates []float64, periodSec int) Fig3fgResult {
+	return s.Fig3fgLendingGain(Fig3fgOptions{MultiVMNode: multiVMNode, Rates: rates, PeriodSec: periodSec})
+}
+
+// Fig4aFrequentMigrationLegacy is the positional form of Fig4aFrequentMigration.
+//
+// Deprecated: use Fig4aFrequentMigration(Fig4aOptions{...}).
+func (s *Study) Fig4aFrequentMigrationLegacy(periodSec int, windows []int) Fig4aResult {
+	return s.Fig4aFrequentMigration(Fig4aOptions{PeriodSec: periodSec, Windows: windows})
+}
+
+// Fig4bImporterSelectionLegacy is the positional form of Fig4bImporterSelection.
+//
+// Deprecated: use Fig4bImporterSelection(Fig4bOptions{...}).
+func (s *Study) Fig4bImporterSelectionLegacy(periodSec int) Fig4bResult {
+	return s.Fig4bImporterSelection(Fig4bOptions{PeriodSec: periodSec})
+}
+
+// Fig4cPredictionMSELegacy is the positional form of Fig4cPredictionMSE.
+//
+// Deprecated: use Fig4cPredictionMSE(Fig4cOptions{...}).
+func (s *Study) Fig4cPredictionMSELegacy(periodSec, epochLen int) Fig4cResult {
+	return s.Fig4cPredictionMSE(Fig4cOptions{PeriodSec: periodSec, EpochLen: epochLen})
+}
+
+// Fig5aReadWriteCoVLegacy is the positional form of Fig5aReadWriteCoV.
+//
+// Deprecated: use Fig5aReadWriteCoV(Fig5aOptions{...}).
+func (s *Study) Fig5aReadWriteCoVLegacy(periodSec int) Fig5aResult {
+	return s.Fig5aReadWriteCoV(Fig5aOptions{PeriodSec: periodSec})
+}
+
+// Fig5bSegmentDominanceLegacy is the positional form of Fig5bSegmentDominance.
+//
+// Deprecated: use Fig5bSegmentDominance(Fig5bOptions{...}).
+func (s *Study) Fig5bSegmentDominanceLegacy(periodSec int) Fig5bResult {
+	return s.Fig5bSegmentDominance(Fig5bOptions{PeriodSec: periodSec})
+}
+
+// Fig5cWriteThenReadLegacy is the positional form of Fig5cWriteThenRead.
+//
+// Deprecated: use Fig5cWriteThenRead(Fig5cOptions{...}).
+func (s *Study) Fig5cWriteThenReadLegacy(periodSec int) Fig5cResult {
+	return s.Fig5cWriteThenRead(Fig5cOptions{PeriodSec: periodSec})
+}
+
+// Fig6HottestBlocksLegacy is the positional form of Fig6HottestBlocks.
+//
+// Deprecated: use Fig6HottestBlocks(Fig6Options{...}).
+func (s *Study) Fig6HottestBlocksLegacy(maxVDs, maxEventsPerVD int) Fig6Result {
+	return s.Fig6HottestBlocks(Fig6Options{MaxVDs: maxVDs, MaxEventsPerVD: maxEventsPerVD})
+}
+
+// Fig7aHitRatioLegacy is the positional form of Fig7aHitRatio.
+//
+// Deprecated: use Fig7aHitRatio(Fig7aOptions{...}).
+func (s *Study) Fig7aHitRatioLegacy(maxVDs, maxEventsPerVD int) Fig7aResult {
+	return s.Fig7aHitRatio(Fig7aOptions{MaxVDs: maxVDs, MaxEventsPerVD: maxEventsPerVD})
+}
+
+// Fig7bcLatencyGainLegacy is the positional form of Fig7bcLatencyGain.
+//
+// Deprecated: use Fig7bcLatencyGain(Fig7bcOptions{...}).
+func (s *Study) Fig7bcLatencyGainLegacy(maxVDs, maxEventsPerVD int, blockMiB int64) Fig7bcResult {
+	return s.Fig7bcLatencyGain(Fig7bcOptions{MaxVDs: maxVDs, MaxEventsPerVD: maxEventsPerVD, BlockMiB: blockMiB})
+}
+
+// Fig7dSpaceUtilizationLegacy is the positional form of Fig7dSpaceUtilization.
+//
+// Deprecated: use Fig7dSpaceUtilization(Fig7dOptions{...}).
+func (s *Study) Fig7dSpaceUtilizationLegacy(threshold float64) Fig7dResult {
+	return s.Fig7dSpaceUtilization(Fig7dOptions{Threshold: threshold})
+}
+
+// RebindWithConfigLegacy is the positional form of RebindWithConfig.
+//
+// Deprecated: use RebindWithConfig(RebindOptions{...}).
+func (s *Study) RebindWithConfigLegacy(maxNodes, winSec int, cfg hypervisor.RebindConfig) Fig2dResult {
+	return s.RebindWithConfig(RebindOptions{MaxNodes: maxNodes, WinSec: winSec, Config: cfg})
+}
+
+// AblateDispatchLegacy is the positional form of AblateDispatch.
+//
+// Deprecated: use AblateDispatch(DispatchOptions{...}).
+func (s *Study) AblateDispatchLegacy(maxNodes, winSec int, policy hypervisor.DispatchPolicy) DispatchAblation {
+	return s.AblateDispatch(DispatchOptions{MaxNodes: maxNodes, WinSec: winSec, Policy: policy})
+}
+
+// AblateHostingLegacy is the positional form of AblateHosting.
+//
+// Deprecated: use AblateHosting(HostingOptions{...}).
+func (s *Study) AblateHostingLegacy(maxNodes, winSec int) HostingAblation {
+	return s.AblateHosting(HostingOptions{MaxNodes: maxNodes, WinSec: winSec})
+}
+
+// AblateCachePolicyLegacy is the positional form of AblateCachePolicy.
+//
+// Deprecated: use AblateCachePolicy(CachePolicyOptions{...}).
+func (s *Study) AblateCachePolicyLegacy(maxVDs, maxEventsPerVD int, blockMiB int64) CachePolicyAblation {
+	return s.AblateCachePolicy(CachePolicyOptions{MaxVDs: maxVDs, MaxEventsPerVD: maxEventsPerVD, BlockMiB: blockMiB})
+}
+
+// AblatePredictorsLegacy is the positional form of AblatePredictors.
+//
+// Deprecated: use AblatePredictors(PredictorOptions{...}).
+func (s *Study) AblatePredictorsLegacy(periodSec int) PredictorAblation {
+	return s.AblatePredictors(PredictorOptions{PeriodSec: periodSec})
+}
+
+// AblateCacheDeploymentLegacy is the positional form of AblateCacheDeployment.
+//
+// Deprecated: use AblateCacheDeployment(CacheDeploymentOptions{...}).
+func (s *Study) AblateCacheDeploymentLegacy(maxVDs, maxEventsPerVD int, blockMiB int64, cnFrac float64) DeploymentAblation {
+	return s.AblateCacheDeployment(CacheDeploymentOptions{
+		MaxVDs: maxVDs, MaxEventsPerVD: maxEventsPerVD, BlockMiB: blockMiB, CNFrac: cnFrac,
+	})
+}
+
+// AblateFailoverLegacy is the positional form of AblateFailover.
+//
+// Deprecated: use AblateFailover(FailoverOptions{...}).
+func (s *Study) AblateFailoverLegacy(periodSec int) FailoverAblation {
+	return s.AblateFailover(FailoverOptions{PeriodSec: periodSec})
+}
+
+// StudyPageCacheLegacy is the positional form of StudyPageCache.
+//
+// Deprecated: use StudyPageCache(PageCacheOptions{...}).
+func (s *Study) StudyPageCacheLegacy(maxVDs, maxEventsPerVD int, blockMiB int64, cfg guestcache.Config) PageCacheStudy {
+	return s.StudyPageCache(PageCacheOptions{
+		MaxVDs: maxVDs, MaxEventsPerVD: maxEventsPerVD, BlockMiB: blockMiB, Guest: cfg,
+	})
+}

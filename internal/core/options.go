@@ -1,0 +1,158 @@
+package core
+
+import (
+	"ebslab/internal/guestcache"
+	"ebslab/internal/hypervisor"
+)
+
+// This file defines the per-method option structs of the Study API. Every
+// figure, table, and ablation method takes one small struct whose zero
+// value selects the documented defaults — callers name only the knobs they
+// change, instead of passing positional zeros. The previous positional
+// forms survive one release as *Legacy wrappers (see legacy.go).
+
+// Fig2dOptions tunes the Fig 2(d) rebinding study.
+type Fig2dOptions struct {
+	// MaxNodes caps the study to the busiest multi-QP nodes (0 = 60).
+	MaxNodes int
+	// WinSec is the simulated window in seconds (0 = 30).
+	WinSec int
+}
+
+// Fig2efOptions tunes the Fig 2(e)/(f) burst-series study.
+type Fig2efOptions struct {
+	MaxNodes int // busiest-node cap (0 = 40)
+	WinSec   int // window in seconds (0 = 20)
+}
+
+// Fig3deOptions tunes the Fig 3(d)/(e) reduction-rate study.
+type Fig3deOptions struct {
+	// MultiVMNode switches the grouping scope from multi-VD VMs (the
+	// default) to multi-VM nodes.
+	MultiVMNode bool
+	// Rates are the lending rates evaluated (nil = 0.2, 0.4, 0.6, 0.8).
+	Rates []float64
+}
+
+// Fig3fgOptions tunes the Fig 3(f)/(g) lending-gain simulation.
+type Fig3fgOptions struct {
+	MultiVMNode bool
+	Rates       []float64 // lending rates (nil = 0.2, 0.4, 0.6, 0.8)
+	PeriodSec   int       // lending re-evaluation period (0 = 60)
+}
+
+// Fig4aOptions tunes the Fig 4(a) frequent-migration study.
+type Fig4aOptions struct {
+	PeriodSec int   // balancing period in seconds (0 = 5)
+	Windows   []int // window scales in periods (nil = 1, 2, 4)
+}
+
+// Fig4bOptions tunes the Fig 4(b) importer-selection comparison.
+type Fig4bOptions struct {
+	PeriodSec int // balancing period in seconds (0 = 5)
+}
+
+// Fig4cOptions tunes the Fig 4(c) prediction-MSE comparison.
+type Fig4cOptions struct {
+	PeriodSec int // balancing period in seconds (0 = 5)
+	EpochLen  int // epoch length in periods for P3/P4 (0 = 30)
+}
+
+// Fig5aOptions tunes the Fig 5(a) read/write CoV study.
+type Fig5aOptions struct {
+	PeriodSec int // balancing period in seconds (0 = 5)
+}
+
+// Fig5bOptions tunes the Fig 5(b) segment-dominance study.
+type Fig5bOptions struct {
+	PeriodSec int // balancing period in seconds (0 = 5)
+}
+
+// Fig5cOptions tunes the Fig 5(c) write-then-read comparison.
+type Fig5cOptions struct {
+	PeriodSec int // balancing period in seconds (0 = 5)
+}
+
+// Fig6Options tunes the Fig 6 LBA-hotspot analysis.
+type Fig6Options struct {
+	MaxVDs         int // busiest-VD cap (0 = 48)
+	MaxEventsPerVD int // events replayed per VD (0 = 20000)
+}
+
+// Fig7aOptions tunes the Fig 7(a) cache hit-ratio replay.
+type Fig7aOptions struct {
+	MaxVDs         int // busiest-VD cap (0 = 32)
+	MaxEventsPerVD int // events replayed per VD (0 = 20000)
+}
+
+// Fig7bcOptions tunes the Fig 7(b)/(c) frozen-cache latency study.
+type Fig7bcOptions struct {
+	MaxVDs         int   // busiest-VD cap (0 = 24)
+	MaxEventsPerVD int   // events replayed per VD (0 = 12000)
+	BlockMiB       int64 // frozen-cache block size in MiB (0 = 2048)
+}
+
+// Fig7dOptions tunes the Fig 7(d) space-utilization study.
+type Fig7dOptions struct {
+	// Threshold is the hottest-block access-rate cut above which a VD
+	// counts as cacheable (0 = 0.25).
+	Threshold float64
+}
+
+// RebindOptions tunes the rebinding ablation.
+type RebindOptions struct {
+	MaxNodes int // busiest-node cap (0 = 40)
+	WinSec   int // window in seconds (0 = 20)
+	// Config is the rebinding configuration under test (zero value =
+	// hypervisor.DefaultRebindConfig()).
+	Config hypervisor.RebindConfig
+}
+
+// DispatchOptions tunes the dispatch-policy ablation.
+type DispatchOptions struct {
+	MaxNodes int // busiest-node cap (0 = 40)
+	WinSec   int // window in seconds (0 = 20)
+	// Policy selects the dispatch model (zero value = single-WT hosting).
+	Policy hypervisor.DispatchPolicy
+}
+
+// HostingOptions tunes the hosting-model ablation.
+type HostingOptions struct {
+	MaxNodes int // busiest-node cap (0 = 24)
+	WinSec   int // window in seconds (0 = 10)
+}
+
+// CachePolicyOptions tunes the cache-policy ablation.
+type CachePolicyOptions struct {
+	MaxVDs         int   // busiest-VD cap (0 = 24)
+	MaxEventsPerVD int   // events replayed per VD (0 = 8000)
+	BlockMiB       int64 // cache block size in MiB (0 = 256)
+}
+
+// PredictorOptions tunes the predictor ablation.
+type PredictorOptions struct {
+	PeriodSec int // balancing period in seconds (0 = 5)
+}
+
+// CacheDeploymentOptions tunes the cache-deployment ablation.
+type CacheDeploymentOptions struct {
+	MaxVDs         int     // cacheable-VD cap (0 = 16)
+	MaxEventsPerVD int     // events replayed per VD (0 = 8000)
+	BlockMiB       int64   // frozen-cache block size in MiB (0 = 2048)
+	CNFrac         float64 // hybrid split: fraction cached at the CN (0 = 0.25)
+}
+
+// FailoverOptions tunes the failover ablation.
+type FailoverOptions struct {
+	PeriodSec int // balancing period in seconds (0 = 5)
+}
+
+// PageCacheOptions tunes the guest page-cache study.
+type PageCacheOptions struct {
+	MaxVDs         int   // busiest-VD cap (0 = 16)
+	MaxEventsPerVD int   // app-level events replayed per VD (0 = 10000)
+	BlockMiB       int64 // hotspot block size in MiB (0 = 256)
+	// Guest configures the simulated page cache (zero value = the default
+	// config with a 2 s flush interval).
+	Guest guestcache.Config
+}

@@ -27,9 +27,12 @@ type PageCacheStudy struct {
 	BlockMiB         int64
 }
 
-// StudyPageCache replays up to maxVDs application-level streams through a
-// guest page cache and measures hottest-block dominance before and after.
-func (s *Study) StudyPageCache(maxVDs, maxEventsPerVD int, blockMiB int64, cfg guestcache.Config) PageCacheStudy {
+// StudyPageCache replays the busiest VDs' application-level streams
+// through a guest page cache and measures hottest-block dominance before
+// and after.
+func (s *Study) StudyPageCache(opt PageCacheOptions) PageCacheStudy {
+	maxVDs, maxEventsPerVD := opt.MaxVDs, opt.MaxEventsPerVD
+	blockMiB, cfg := opt.BlockMiB, opt.Guest
 	if maxVDs <= 0 {
 		maxVDs = 16
 	}

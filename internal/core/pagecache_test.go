@@ -4,13 +4,11 @@ import (
 	"math"
 	"strings"
 	"testing"
-
-	"ebslab/internal/guestcache"
 )
 
 func TestStudyPageCacheShiftsDominance(t *testing.T) {
 	s := study(t)
-	r := s.StudyPageCache(12, 8000, 256, guestcache.Config{})
+	r := s.StudyPageCache(PageCacheOptions{MaxVDs: 12, MaxEventsPerVD: 8000, BlockMiB: 256})
 	if r.VDs == 0 {
 		t.Skip("no study VDs")
 	}

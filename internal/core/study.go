@@ -6,9 +6,11 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"ebslab/internal/cluster"
+	"ebslab/internal/par"
 	"ebslab/internal/stats"
 	"ebslab/internal/workload"
 )
@@ -19,6 +21,9 @@ type Study struct {
 	// Dur is the observation window in seconds (taken from the fleet config
 	// unless overridden before first use).
 	Dur int
+	// Workers bounds the worker pool of the fleet-wide aggregation pass
+	// (0 = one per CPU). Results are identical for every worker count.
+	Workers int
 
 	once sync.Once
 	tot  totals
@@ -49,7 +54,11 @@ func NewStudyFromFleet(f *workload.Fleet) *Study {
 	return &Study{Fleet: f, Dur: f.Cfg.DurationSec}
 }
 
-// ensureTotals performs the shared single pass over all VD series.
+// ensureTotals performs the shared aggregation pass over all VD series,
+// parallelized across the study's worker pool. Every per-VD write lands in
+// slice slots owned by that VD (its own QPs and segments), so the pass is
+// race-free and its output independent of scheduling; the only cross-VD
+// accumulation (per-VM sums) runs as a sequential fold afterwards.
 func (s *Study) ensureTotals() *totals {
 	s.once.Do(func() {
 		top := s.Fleet.Topology
@@ -65,7 +74,7 @@ func (s *Study) ensureTotals() *totals {
 		t.segRead = make([]float64, len(top.Segments))
 		t.segWrite = make([]float64, len(top.Segments))
 
-		for vdIdx := range top.VDs {
+		par.ForEach(context.Background(), len(top.VDs), s.Workers, func(vdIdx int) error {
 			vd := &top.VDs[vdIdx]
 			m := &s.Fleet.Models[vdIdx]
 			series := s.Fleet.VDSeries(cluster.VDID(vdIdx), s.Dur)
@@ -80,8 +89,6 @@ func (s *Study) ensureTotals() *totals {
 			t.vdRead[vdIdx], t.vdWrite[vdIdx] = rTot, wTot
 			t.vdP2AR[vdIdx] = stats.P2A(rs)
 			t.vdP2AW[vdIdx] = stats.P2A(ws)
-			t.vmRead[vd.VM] += rTot
-			t.vmWrite[vd.VM] += wTot
 			for i, qp := range vd.QPs {
 				t.qpRead[qp] = rTot * m.QPWeightsRead[i]
 				t.qpWrite[qp] = wTot * m.QPWeightsWrite[i]
@@ -90,6 +97,14 @@ func (s *Study) ensureTotals() *totals {
 				t.segRead[seg] = rTot * m.SegWeightsRead[i]
 				t.segWrite[seg] = wTot * m.SegWeightsWrite[i]
 			}
+			return nil
+		})
+		// Per-VM sums cross VD boundaries; fold them sequentially in VD
+		// order so float addition order (and thus the result) is fixed.
+		for vdIdx := range top.VDs {
+			vm := top.VDs[vdIdx].VM
+			t.vmRead[vm] += t.vdRead[vdIdx]
+			t.vmWrite[vm] += t.vdWrite[vdIdx]
 		}
 	})
 	return &s.tot

@@ -13,8 +13,8 @@ import (
 )
 
 // Tracer accumulates one observation window of trace and metric data.
-// It is not safe for concurrent use; the simulator drives it from one
-// goroutine.
+// It is not safe for concurrent use; the parallel simulation engine gives
+// each shard its own Tracer and combines them afterwards with Merge.
 type Tracer struct {
 	sampleEvery uint64
 	nextID      uint64
@@ -57,6 +57,14 @@ func (t *Tracer) NextTraceID() uint64 {
 	t.nextID++
 	return t.nextID
 }
+
+// StartStream positions the tracer's ID counter at base, so subsequent
+// NextTraceID calls issue base+1, base+2, ... Sharded simulations call this
+// once per virtual disk with a disk-derived base: the sampling decision
+// hashes the trace ID, so disk-derived IDs make the sampled set a pure
+// function of (disk, per-disk sequence) — independent of which shard or
+// worker processes the disk.
+func (t *Tracer) StartStream(base uint64) { t.nextID = base }
 
 // Observe ingests one completed IO: it always updates both metric domains
 // and records the full trace when the ID falls in the sample.
@@ -132,6 +140,56 @@ func (t *Tracer) ComputeRows() []trace.MetricRow {
 		return out[i].QP < out[j].QP
 	})
 	return out
+}
+
+// Merge combines shard tracers into one: metric accumulators are merged by
+// key (summing rates when shards touched the same key), trace records are
+// concatenated and sorted into canonical (TimeUS, VD) order, and trace IDs
+// are reassigned 1..N in that order. Because each virtual disk is processed
+// whole by exactly one shard, same-VD records arrive contiguous and in
+// generation order, which the stable sort preserves — so the merged output
+// is byte-identical no matter how disks were distributed across shards.
+// The shards themselves are consumed and must not be used afterwards.
+func Merge(sampleEvery int, shards ...*Tracer) *Tracer {
+	out := New(sampleEvery)
+	var nRecords int
+	for _, sh := range shards {
+		nRecords += len(sh.records)
+	}
+	out.records = make([]trace.Record, 0, nRecords)
+	for _, sh := range shards {
+		out.records = append(out.records, sh.records...)
+		mergeAccums(out.compute, sh.compute)
+		mergeAccums(out.storage, sh.storage)
+	}
+	sort.SliceStable(out.records, func(i, j int) bool {
+		if out.records[i].TimeUS != out.records[j].TimeUS {
+			return out.records[i].TimeUS < out.records[j].TimeUS
+		}
+		return out.records[i].VD < out.records[j].VD
+	})
+	for i := range out.records {
+		out.records[i].TraceID = uint64(i + 1)
+	}
+	out.nextID = uint64(len(out.records))
+	return out
+}
+
+// mergeAccums folds src into dst, summing directional rates on key
+// collisions (identity fields agree by construction: the key pins the row's
+// entity and every entity belongs to exactly one VD).
+func mergeAccums[K comparable](dst, src map[K]*accum) {
+	for k, sa := range src {
+		da := dst[k]
+		if da == nil {
+			dst[k] = sa
+			continue
+		}
+		da.row.ReadBps += sa.row.ReadBps
+		da.row.WriteBps += sa.row.WriteBps
+		da.row.ReadIOPS += sa.row.ReadIOPS
+		da.row.WriteIOPS += sa.row.WriteIOPS
+	}
 }
 
 // StorageRows returns the storage-domain metric rows sorted by (sec, seg).

@@ -1,8 +1,10 @@
 package diting
 
 import (
+	"reflect"
 	"testing"
 
+	"ebslab/internal/cluster"
 	"ebslab/internal/trace"
 )
 
@@ -62,6 +64,97 @@ func TestDistinctQPsGetDistinctRows(t *testing.T) {
 	srows := tr.StorageRows()
 	if len(srows) != 1 || srows[0].ReadBps != 3072 {
 		t.Fatalf("storage rows = %+v", srows)
+	}
+}
+
+// TestMergeMatchesSingleTracer feeds one stream whole into a single tracer
+// and split across shards (per-VD, as the engine shards), and requires the
+// merged output to match the single tracer's rows exactly, with records in
+// canonical (time, VD) order and renumbered 1..N.
+func TestMergeMatchesSingleTracer(t *testing.T) {
+	mkRec := func(vd int, seq int, timeUS int64, op trace.Op, size int32) trace.Record {
+		return trace.Record{
+			TimeUS: timeUS, Op: op, Size: size,
+			VD: cluster.VDID(vd), QP: cluster.QPID(vd), Segment: cluster.SegmentID(vd),
+		}
+	}
+	// Three VDs with interleaved timestamps, including duplicates.
+	streams := map[int][]trace.Record{
+		0: {mkRec(0, 0, 10, trace.OpRead, 4096), mkRec(0, 1, 30, trace.OpWrite, 8192), mkRec(0, 2, 30, trace.OpWrite, 512)},
+		1: {mkRec(1, 0, 5, trace.OpWrite, 1024), mkRec(1, 1, 30, trace.OpRead, 2048)},
+		2: {mkRec(2, 0, 30, trace.OpRead, 4096), mkRec(2, 1, 50, trace.OpWrite, 4096)},
+	}
+	base := func(vd int) uint64 { return (uint64(vd) + 1) << 40 }
+
+	observe := func(tr *Tracer, vd int) {
+		tr.StartStream(base(vd))
+		for _, r := range streams[vd] {
+			r.TraceID = tr.NextTraceID()
+			tr.Observe(r)
+		}
+	}
+
+	single := New(1)
+	for vd := 0; vd < 3; vd++ {
+		observe(single, vd)
+	}
+	// Shard assignment intentionally scrambled: VD 2 and VD 0 share a
+	// shard, VD 1 sits alone, processed out of VD order.
+	shardA, shardB := New(1), New(1)
+	observe(shardA, 2)
+	observe(shardB, 1)
+	observe(shardA, 0)
+	merged := Merge(1, shardA, shardB)
+
+	wantOrder := []struct {
+		timeUS int64
+		vd     cluster.VDID
+	}{{5, 1}, {10, 0}, {30, 0}, {30, 0}, {30, 1}, {30, 2}, {50, 2}}
+	recs := merged.Records()
+	if len(recs) != len(wantOrder) {
+		t.Fatalf("merged %d records, want %d", len(recs), len(wantOrder))
+	}
+	for i, w := range wantOrder {
+		if recs[i].TraceID != uint64(i+1) {
+			t.Fatalf("record %d: trace ID %d, want %d", i, recs[i].TraceID, i+1)
+		}
+		if recs[i].TimeUS != w.timeUS || recs[i].VD != w.vd {
+			t.Fatalf("record %d: (%d, vd%d), want (%d, vd%d)", i, recs[i].TimeUS, recs[i].VD, w.timeUS, w.vd)
+		}
+	}
+	// Same-VD same-time records must preserve generation order (8192 then
+	// 512 for VD 0 at t=30).
+	if recs[2].Size != 8192 || recs[3].Size != 512 {
+		t.Fatalf("generation order lost within VD 0: %d then %d", recs[2].Size, recs[3].Size)
+	}
+
+	wantC, gotC := single.ComputeRows(), merged.ComputeRows()
+	if !reflect.DeepEqual(wantC, gotC) {
+		t.Fatalf("compute rows differ:\nwant %+v\ngot  %+v", wantC, gotC)
+	}
+	wantS, gotS := single.StorageRows(), merged.StorageRows()
+	if !reflect.DeepEqual(wantS, gotS) {
+		t.Fatalf("storage rows differ:\nwant %+v\ngot  %+v", wantS, gotS)
+	}
+}
+
+// TestMergeSumsCollidingKeys covers the general contract: two shards that
+// touched the same (sec, qp) key merge into one row with summed rates.
+func TestMergeSumsCollidingKeys(t *testing.T) {
+	a, b := New(1), New(1)
+	a.Observe(trace.Record{TraceID: 1, TimeUS: 0, Op: trace.OpRead, Size: 1024, QP: 9, Segment: 4})
+	b.Observe(trace.Record{TraceID: 2, TimeUS: 100, Op: trace.OpRead, Size: 2048, QP: 9, Segment: 4})
+	rows := Merge(1, a, b).ComputeRows()
+	if len(rows) != 1 || rows[0].ReadBps != 3072 || rows[0].ReadIOPS != 2 {
+		t.Fatalf("merged rows = %+v", rows)
+	}
+}
+
+func TestStartStreamOffsetsIDs(t *testing.T) {
+	tr := New(1)
+	tr.StartStream(1 << 40)
+	if id := tr.NextTraceID(); id != (1<<40)+1 {
+		t.Fatalf("first ID after StartStream = %d", id)
 	}
 }
 

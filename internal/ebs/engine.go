@@ -1,0 +1,198 @@
+package ebs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ebslab/internal/cluster"
+	"ebslab/internal/diting"
+	"ebslab/internal/latency"
+	"ebslab/internal/par"
+	"ebslab/internal/throttle"
+	"ebslab/internal/trace"
+	"ebslab/internal/workload"
+)
+
+// vdIDBase spaces per-VD trace-ID streams far enough apart that no stream
+// can run into the next one: 2^40 IOs per disk is ~34 years of traffic at
+// the generator's 2^20 events/s cap.
+func vdIDBase(vd cluster.VDID) uint64 { return (uint64(vd) + 1) << 40 }
+
+// shard is the per-worker simulation state: its own tracer (the tracer is
+// not safe for concurrent use) plus reusable buffers.
+type shard struct {
+	tracer *diting.Tracer
+	demand []throttle.Demand
+}
+
+// RunContext simulates the fleet's IO for the window across a bounded
+// worker pool and returns the collected datasets. Virtual disks are
+// independent by construction — per-VD series, event, and latency streams
+// are all derived from (seed, VD) — so disks are dealt to workers
+// dynamically and shard outputs are merged deterministically afterwards:
+// the result is byte-identical for every Workers value.
+//
+// Cancellation is checked between virtual disks; on cancellation the
+// partial work is discarded and ctx's error is returned.
+func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(s.fleet)
+	top := s.fleet.Topology
+	model := s.model
+	if opts.Latency != nil {
+		model = opts.Latency
+	}
+	nVDs := len(top.VDs)
+	if opts.MaxVDs > 0 && opts.MaxVDs < nVDs {
+		nVDs = opts.MaxVDs
+	}
+
+	// Per-node QP index lookup for worker-thread attribution (read-only
+	// while the pool runs).
+	wtOf := make(map[cluster.QPID]int8)
+	for _, b := range s.bindings {
+		for i, qp := range b.QPs {
+			wtOf[qp] = b.WTOf[i]
+		}
+	}
+
+	workers := par.Workers(opts.Workers)
+	if workers > nVDs && nVDs > 0 {
+		workers = nVDs
+	}
+	shards := make([]*shard, workers)
+	for i := range shards {
+		shards[i] = &shard{tracer: diting.New(opts.TraceSampleEvery)}
+	}
+	var (
+		done      atomic.Int64
+		progressM sync.Mutex
+	)
+	err := par.ForEachWorker(ctx, nVDs, workers, func(worker, vdIdx int) error {
+		if err := s.simulateVD(shards[worker], vdIdx, opts, model, wtOf); err != nil {
+			return err
+		}
+		if opts.Progress != nil {
+			n := int(done.Add(1))
+			progressM.Lock()
+			opts.Progress(n, nVDs)
+			progressM.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	merged := diting.Merge(opts.TraceSampleEvery, tracersOf(shards)...)
+	ds := &trace.Dataset{
+		Topology:    top,
+		Seg2BS:      s.fleet.Seg2BS,
+		DurationSec: opts.DurationSec,
+		Trace:       merged.Records(),
+		Compute:     scaleRows(merged.ComputeRows(), float64(opts.EventSampleEvery)),
+		Storage:     scaleRows(merged.StorageRows(), float64(opts.EventSampleEvery)),
+	}
+	for i := range top.VDs {
+		vd := &top.VDs[i]
+		ds.VDSpecs = append(ds.VDSpecs, trace.VDSpec{
+			VD: vd.ID, Capacity: vd.Capacity,
+			ThroughputCap: vd.ThroughputCap, IOPSCap: vd.IOPSCap,
+			NumQPs: len(vd.QPs),
+		})
+	}
+	for i := range top.VMs {
+		vm := &top.VMs[i]
+		ds.VMSpecs = append(ds.VMSpecs, trace.VMSpec{
+			VM: vm.ID, Node: vm.Node, App: vm.App, VDs: vm.VDs,
+		})
+	}
+	return ds, nil
+}
+
+// simulateVD replays one virtual disk's window into the shard's tracer:
+// throttle replay for queue delay, event generation, per-stage latency
+// sampling from the disk-derived RNG stream.
+func (s *Sim) simulateVD(sh *shard, vdIdx int, opts Options, model *latency.Model, wtOf map[cluster.QPID]int8) error {
+	top := s.fleet.Topology
+	vdID := cluster.VDID(vdIdx)
+	vd := &top.VDs[vdIdx]
+	vm := &top.VMs[vd.VM]
+	node := &top.Nodes[vm.Node]
+
+	// Per-VD throttle replay over the second-granularity series gives
+	// each second's queue delay.
+	var queueDelay []float64
+	if !opts.DisableThrottle {
+		series := s.fleet.VDSeries(vdID, opts.DurationSec)
+		sh.demand = sh.demand[:0]
+		for _, smp := range series {
+			sh.demand = append(sh.demand, throttle.Demand{
+				ReadBps: smp.ReadBps, WriteBps: smp.WriteBps,
+				ReadIOPS: smp.ReadIOPS, WriteIOPS: smp.WriteIOPS,
+			})
+		}
+		res := throttle.Simulate(
+			[]throttle.Caps{{Tput: vd.ThroughputCap, IOPS: vd.IOPSCap}},
+			[][]throttle.Demand{sh.demand})
+		queueDelay = res.QueueDelaySec[0]
+	}
+
+	rng := newLatencyRand(opts.Seed, vdID)
+	tracer := sh.tracer
+	tracer.StartStream(vdIDBase(vdID))
+
+	var genErr error
+	s.fleet.GenEvents(vdID, opts.DurationSec, opts.EventSampleEvery, func(ev workload.Event) {
+		if genErr != nil {
+			return
+		}
+		seg := top.SegmentOfOffset(vdID, ev.Offset)
+		sn := s.fleet.Seg2BS.BSOf(seg)
+		if sn < 0 {
+			genErr = fmt.Errorf("ebs: segment %d unplaced", seg)
+			return
+		}
+		rec := trace.Record{
+			TraceID: tracer.NextTraceID(),
+			TimeUS:  ev.TimeUS,
+			Op:      ev.Op,
+			Size:    ev.Size,
+			Offset:  ev.Offset,
+			DC:      node.DC,
+			Node:    node.ID,
+			User:    vm.User,
+			VM:      vm.ID,
+			VD:      vdID,
+			QP:      ev.QP,
+			WT:      wtOf[ev.QP],
+			Storage: sn,
+			Segment: seg,
+		}
+		rec.Latency = model.Sample(rng, ev.Op, ev.Size, latency.NoCache, false)
+		if queueDelay != nil {
+			sec := int(ev.TimeUS / 1_000_000)
+			if sec < len(queueDelay) && queueDelay[sec] > 0 {
+				rec.Latency[trace.StageComputeNode] += float32(queueDelay[sec] * 1e6)
+			}
+		}
+		tracer.Observe(rec)
+	})
+	return genErr
+}
+
+// tracersOf projects the shard slice to its tracers in shard order.
+func tracersOf(shards []*shard) []*diting.Tracer {
+	out := make([]*diting.Tracer, len(shards))
+	for i, sh := range shards {
+		out[i] = sh.tracer
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package ebs
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRunContextWorkerCountInvariance is the engine's determinism contract:
+// the same seed must yield byte-identical datasets (trace records, compute
+// rows, storage rows) no matter how many workers share the fleet.
+func TestRunContextWorkerCountInvariance(t *testing.T) {
+	f := smallFleet(t)
+	base := Options{DurationSec: 8, TraceSampleEvery: 4, EventSampleEvery: 2, MaxVDs: 16}
+
+	opts1 := base
+	opts1.Workers = 1
+	ref, err := New(f).RunContext(context.Background(), opts1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Trace) == 0 || len(ref.Compute) == 0 || len(ref.Storage) == 0 {
+		t.Fatal("reference run produced empty datasets")
+	}
+	for _, workers := range []int{2, 3, 8} {
+		opts := base
+		opts.Workers = workers
+		got, err := New(f).RunContext(context.Background(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.Trace, got.Trace) {
+			t.Fatalf("workers=%d: trace records differ from 1-worker run", workers)
+		}
+		if !reflect.DeepEqual(ref.Compute, got.Compute) {
+			t.Fatalf("workers=%d: compute rows differ from 1-worker run", workers)
+		}
+		if !reflect.DeepEqual(ref.Storage, got.Storage) {
+			t.Fatalf("workers=%d: storage rows differ from 1-worker run", workers)
+		}
+	}
+}
+
+// TestRunContextCanonicalTraceOrder checks the merged trace contract: IDs
+// are 1..N in (time, VD) order.
+func TestRunContextCanonicalTraceOrder(t *testing.T) {
+	f := smallFleet(t)
+	ds, err := New(f).RunContext(context.Background(),
+		Options{DurationSec: 6, TraceSampleEvery: 1, EventSampleEvery: 4, MaxVDs: 10, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Trace {
+		if ds.Trace[i].TraceID != uint64(i+1) {
+			t.Fatalf("record %d has trace ID %d, want %d", i, ds.Trace[i].TraceID, i+1)
+		}
+		if i == 0 {
+			continue
+		}
+		prev, cur := &ds.Trace[i-1], &ds.Trace[i]
+		if cur.TimeUS < prev.TimeUS {
+			t.Fatalf("records out of time order at %d: %d after %d", i, cur.TimeUS, prev.TimeUS)
+		}
+		if cur.TimeUS == prev.TimeUS && cur.VD < prev.VD {
+			t.Fatalf("records out of VD order at %d within time %d", i, cur.TimeUS)
+		}
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	f := smallFleet(t)
+	// Pre-cancelled context: no work at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ds, err := New(f).RunContext(ctx, Options{DurationSec: 5, MaxVDs: 8})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run: got (%v, %v), want context.Canceled", ds, err)
+	}
+	if ds != nil {
+		t.Fatal("cancelled run must not return a dataset")
+	}
+
+	// Mid-run cancellation through the progress callback.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var calls int
+	ds, err = New(f).RunContext(ctx2, Options{
+		DurationSec: 5, MaxVDs: 12, Workers: 2,
+		Progress: func(done, total int) {
+			calls++
+			if done >= 2 {
+				cancel2()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: got (%v, %v), want context.Canceled", ds, err)
+	}
+	if calls == 0 {
+		t.Fatal("progress callback never ran")
+	}
+}
+
+func TestRunContextProgressReachesTotal(t *testing.T) {
+	f := smallFleet(t)
+	var last, total int
+	_, err := New(f).RunContext(context.Background(), Options{
+		DurationSec: 4, MaxVDs: 9, Workers: 3,
+		Progress: func(d, t int) { last, total = d, t },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 9 || last != 9 {
+		t.Fatalf("final progress (%d, %d), want (9, 9)", last, total)
+	}
+}
+
+func TestOptionsValidateRejectsNegatives(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"DurationSec", Options{DurationSec: -1}},
+		{"TraceSampleEvery", Options{TraceSampleEvery: -3}},
+		{"EventSampleEvery", Options{EventSampleEvery: -1}},
+		{"MaxVDs", Options{MaxVDs: -2}},
+		{"Workers", Options{Workers: -4}},
+	}
+	for _, c := range cases {
+		err := c.opts.Validate()
+		if err == nil {
+			t.Fatalf("%s: negative value not rejected", c.name)
+		}
+		if !strings.Contains(err.Error(), c.name) {
+			t.Fatalf("%s: error %q does not name the field", c.name, err)
+		}
+	}
+	if err := (Options{}).Validate(); err != nil {
+		t.Fatalf("zero options must validate: %v", err)
+	}
+
+	// Run must surface the validation error rather than clamping.
+	f := smallFleet(t)
+	if _, err := New(f).Run(Options{DurationSec: -5}); err == nil {
+		t.Fatal("Run accepted a negative duration")
+	}
+}

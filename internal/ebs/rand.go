@@ -1,13 +1,27 @@
 package ebs
 
-import "math/rand"
+import (
+	"math/rand"
 
-// newLatencyRand derives the latency-sampling stream from the fleet seed
-// and an optional user override (0 keeps the fleet-derived stream).
-func newLatencyRand(fleetSeed, override int64) *rand.Rand {
-	seed := fleetSeed ^ 0x1a7e9c
-	if override != 0 {
-		seed = override
-	}
-	return rand.New(rand.NewSource(seed))
+	"ebslab/internal/cluster"
+)
+
+// newLatencyRand derives the latency-sampling stream of one virtual disk
+// from the base seed (the fleet seed, or the Options.Seed override). Each
+// disk gets its own child stream keyed by (seed, VD), so latency draws are
+// a pure function of the disk — independent of simulation order, shard
+// assignment, and worker count.
+func newLatencyRand(seed int64, vd cluster.VDID) *rand.Rand {
+	base := uint64(seed) ^ 0x1a7e9c
+	child := splitmix64(base ^ (uint64(vd)+1)*0x9e3779b97f4a7c15)
+	return rand.New(rand.NewSource(int64(child)))
+}
+
+// splitmix64 is the finalizer of the splitmix64 generator; it decorrelates
+// the per-VD seeds even for adjacent VD IDs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }

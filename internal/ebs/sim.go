@@ -6,40 +6,91 @@
 // ChunkServer; the DiTing tracer samples per-IO records and aggregates
 // full-scale per-second metrics — producing exactly the two datasets the
 // study consumes.
+//
+// The engine is sharded: virtual disks are partitioned across a bounded
+// worker pool, each shard feeds its own tracer, and shard outputs are merged
+// deterministically, so a run's datasets are byte-identical for any Workers
+// value at a fixed seed (see DESIGN.md, "Parallel simulation engine").
 package ebs
 
 import (
+	"context"
 	"fmt"
 
 	"ebslab/internal/cluster"
-	"ebslab/internal/diting"
 	"ebslab/internal/hypervisor"
 	"ebslab/internal/latency"
-	"ebslab/internal/throttle"
 	"ebslab/internal/trace"
 	"ebslab/internal/workload"
 )
 
-// Options configures a simulation run.
+// Options configures a simulation run. The zero value of every field is the
+// documented default; negative values are rejected by Validate rather than
+// silently rewritten.
 type Options struct {
-	// DurationSec is the observation window (defaults to the fleet config's
-	// window).
+	// DurationSec is the observation window (0 = the fleet config's window).
 	DurationSec int
-	// TraceSampleEvery is the DiTing per-IO sampling rate (default
+	// TraceSampleEvery is the DiTing per-IO sampling rate (0 =
 	// trace.SampleRate = 3200; pass 1 to trace everything).
 	TraceSampleEvery int
 	// EventSampleEvery thins the generated IO stream itself for
-	// tractability (default 1: generate every IO). Metric rows scale the
+	// tractability (0 or 1: generate every IO). Metric rows scale the
 	// counted bytes back up so rates stay calibrated.
 	EventSampleEvery int
 	// MaxVDs bounds how many virtual disks are simulated (0 = all).
 	MaxVDs int
+	// Workers bounds the simulation worker pool (0 = one per CPU). Results
+	// are identical for every worker count.
+	Workers int
 	// DisableThrottle turns off the hypervisor throttle.
 	DisableThrottle bool
 	// Latency overrides the latency model (default latency.Default()).
 	Latency *latency.Model
-	// Seed drives the latency sampling streams (default: fleet seed).
+	// Seed overrides the base seed of the per-VD latency sampling streams
+	// (default: fleet seed).
 	Seed int64
+	// Progress, when non-nil, is called after each virtual disk finishes,
+	// with the number of completed disks and the total. Calls are
+	// serialized but may come from pool goroutines; keep it cheap.
+	Progress func(done, total int)
+}
+
+// withDefaults fills zero-valued fields from the fleet configuration and
+// package defaults. It assumes the options already passed Validate.
+func (o Options) withDefaults(f *workload.Fleet) Options {
+	if o.DurationSec == 0 {
+		o.DurationSec = f.Cfg.DurationSec
+	}
+	if o.TraceSampleEvery == 0 {
+		o.TraceSampleEvery = trace.SampleRate
+	}
+	if o.EventSampleEvery == 0 {
+		o.EventSampleEvery = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = f.Cfg.Seed
+	}
+	return o
+}
+
+// Validate rejects option values that have no meaning. Zero values are
+// defaults and always valid.
+func (o Options) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"DurationSec", o.DurationSec},
+		{"TraceSampleEvery", o.TraceSampleEvery},
+		{"EventSampleEvery", o.EventSampleEvery},
+		{"MaxVDs", o.MaxVDs},
+		{"Workers", o.Workers},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("ebs: Options.%s is %d, want >= 0", f.name, f.v)
+		}
+	}
+	return nil
 }
 
 // Sim is an end-to-end EBS simulation over one generated fleet.
@@ -63,126 +114,9 @@ func New(f *workload.Fleet) *Sim {
 func (s *Sim) Binding(n cluster.NodeID) *hypervisor.Binding { return s.bindings[n] }
 
 // Run simulates the fleet's IO for the window and returns the collected
-// datasets.
+// datasets. It is RunContext without cancellation.
 func (s *Sim) Run(opts Options) (*trace.Dataset, error) {
-	top := s.fleet.Topology
-	if opts.DurationSec <= 0 {
-		opts.DurationSec = s.fleet.Cfg.DurationSec
-	}
-	if opts.TraceSampleEvery <= 0 {
-		opts.TraceSampleEvery = trace.SampleRate
-	}
-	if opts.EventSampleEvery <= 0 {
-		opts.EventSampleEvery = 1
-	}
-	model := s.model
-	if opts.Latency != nil {
-		model = opts.Latency
-	}
-	nVDs := len(top.VDs)
-	if opts.MaxVDs > 0 && opts.MaxVDs < nVDs {
-		nVDs = opts.MaxVDs
-	}
-
-	tracer := diting.New(opts.TraceSampleEvery)
-	rng := newLatencyRand(s.fleet.Cfg.Seed, opts.Seed)
-
-	// Per-node QP index lookup for worker-thread attribution.
-	wtOf := make(map[cluster.QPID]int8)
-	for _, b := range s.bindings {
-		for i, qp := range b.QPs {
-			wtOf[qp] = b.WTOf[i]
-		}
-	}
-
-	for vdIdx := 0; vdIdx < nVDs; vdIdx++ {
-		vdID := cluster.VDID(vdIdx)
-		vd := &top.VDs[vdIdx]
-		vm := &top.VMs[vd.VM]
-		node := &top.Nodes[vm.Node]
-
-		// Per-VD throttle replay over the second-granularity series gives
-		// each second's queue delay.
-		var queueDelay []float64
-		if !opts.DisableThrottle {
-			series := s.fleet.VDSeries(vdID, opts.DurationSec)
-			demand := make([]throttle.Demand, len(series))
-			for i, smp := range series {
-				demand[i] = throttle.Demand{
-					ReadBps: smp.ReadBps, WriteBps: smp.WriteBps,
-					ReadIOPS: smp.ReadIOPS, WriteIOPS: smp.WriteIOPS,
-				}
-			}
-			res := throttle.Simulate(
-				[]throttle.Caps{{Tput: vd.ThroughputCap, IOPS: vd.IOPSCap}},
-				[][]throttle.Demand{demand})
-			queueDelay = res.QueueDelaySec[0]
-		}
-
-		var genErr error
-		s.fleet.GenEvents(vdID, opts.DurationSec, opts.EventSampleEvery, func(ev workload.Event) {
-			if genErr != nil {
-				return
-			}
-			seg := top.SegmentOfOffset(vdID, ev.Offset)
-			sn := s.fleet.Seg2BS.BSOf(seg)
-			if sn < 0 {
-				genErr = fmt.Errorf("ebs: segment %d unplaced", seg)
-				return
-			}
-			rec := trace.Record{
-				TraceID: tracer.NextTraceID(),
-				TimeUS:  ev.TimeUS,
-				Op:      ev.Op,
-				Size:    ev.Size,
-				Offset:  ev.Offset,
-				DC:      node.DC,
-				Node:    node.ID,
-				User:    vm.User,
-				VM:      vm.ID,
-				VD:      vdID,
-				QP:      ev.QP,
-				WT:      wtOf[ev.QP],
-				Storage: sn,
-				Segment: seg,
-			}
-			rec.Latency = model.Sample(rng, ev.Op, ev.Size, latency.NoCache, false)
-			if queueDelay != nil {
-				sec := int(ev.TimeUS / 1_000_000)
-				if sec < len(queueDelay) && queueDelay[sec] > 0 {
-					rec.Latency[trace.StageComputeNode] += float32(queueDelay[sec] * 1e6)
-				}
-			}
-			tracer.Observe(rec)
-		})
-		if genErr != nil {
-			return nil, genErr
-		}
-	}
-
-	ds := &trace.Dataset{
-		Topology:    top,
-		Seg2BS:      s.fleet.Seg2BS,
-		DurationSec: opts.DurationSec,
-		Trace:       tracer.Records(),
-		Compute:     scaleRows(tracer.ComputeRows(), float64(opts.EventSampleEvery)),
-		Storage:     scaleRows(tracer.StorageRows(), float64(opts.EventSampleEvery)),
-	}
-	for i := range top.VDs {
-		vd := &top.VDs[i]
-		ds.VDSpecs = append(ds.VDSpecs, trace.VDSpec{
-			VD: vd.ID, Capacity: vd.Capacity,
-			ThroughputCap: vd.ThroughputCap, IOPSCap: vd.IOPSCap,
-			NumQPs: len(vd.QPs),
-		})
-	}
-	for i := range top.VMs {
-		vm := &top.VMs[i]
-		ds.VMSpecs = append(ds.VMSpecs, trace.VMSpec{
-			VM: vm.ID, Node: vm.Node, App: vm.App, VDs: vm.VDs,
-		})
-	}
-	return ds, nil
+	return s.RunContext(context.Background(), opts)
 }
 
 // scaleRows compensates metric rows for event thinning so reported rates

@@ -1,0 +1,97 @@
+// Package par provides the bounded worker pool shared by the parallel
+// simulation engine (internal/ebs) and the study's fleet-wide aggregations
+// (internal/core). Work items are indexed tasks; the pool hands indices to
+// workers dynamically, so callers must make per-item work independent of
+// which worker runs it (and merge per-item results in canonical index order
+// when order matters).
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values > 0 are returned as-is,
+// 0 means "one per available CPU" (GOMAXPROCS).
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) across up to workers goroutines
+// (clamped to n; 0 means GOMAXPROCS). It returns the error of the
+// lowest-indexed failing item, or ctx.Err() if the context is cancelled
+// first. On error or cancellation, remaining items are skipped but items
+// already in flight run to completion before ForEach returns.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return ForEachWorker(ctx, n, workers, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with worker identity: fn additionally receives
+// the index of the pool goroutine running the item, in [0, effective worker
+// count). Exactly one goroutine owns each worker index for the pool's whole
+// lifetime, so callers can keep lock-free per-worker state (shard tracers,
+// scratch buffers) in a slice indexed by it.
+func ForEachWorker(ctx context.Context, n, workers int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Fast path: no goroutines, same cancellation semantics.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		mu      sync.Mutex
+		firstI  = n
+		firstE  error
+		wg      sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				if stopped.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(worker, i); err != nil {
+					mu.Lock()
+					if i < firstI {
+						firstI, firstE = i, err
+					}
+					mu.Unlock()
+					stopped.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstE != nil {
+		return firstE
+	}
+	return ctx.Err()
+}

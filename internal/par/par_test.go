@@ -1,0 +1,74 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 200
+		var seen [n]atomic.Int32
+		err := ForEach(context.Background(), n, workers, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexedError(t *testing.T) {
+	wantErr := func(i int) error { return fmt.Errorf("item %d", i) }
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), 100, workers, func(i int) error {
+			if i == 7 || i == 23 {
+				return wantErr(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 7" {
+			t.Fatalf("workers=%d: got %v, want item 7", workers, err)
+		}
+	}
+}
+
+func TestForEachHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForEach(ctx, 1000, 4, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran.Load() > 8 {
+		t.Fatalf("ran %d items after cancellation", ran.Load())
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(int) error { return errors.New("no") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit worker count not honored")
+	}
+	if Workers(0) < 1 {
+		t.Fatal("default worker count must be at least 1")
+	}
+}
