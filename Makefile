@@ -1,10 +1,12 @@
-# Developer entry points. `make ci` is the gate: vet plus the full test
-# suite under the race detector on a short-window fleet (the tests build
-# their own small fleets, so the race run stays fast).
+# Developer entry points. `make ci` is the gate: vet, the full test suite
+# under the race detector on a short-window fleet (the tests build their own
+# small fleets, so the race run stays fast), the golden-fixture drift check,
+# and a short randomized run of every fuzz target.
 
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: all build test race vet bench ci
+.PHONY: all build test race vet bench golden golden-diff fuzz-smoke ci
 
 all: build
 
@@ -18,7 +20,8 @@ vet:
 	$(GO) vet ./...
 
 # Race-detector run. -short trims the slowest property tests where they
-# opt in; every fleet used by the tests is already small.
+# opt in; every fleet used by the tests is already small. The invariant
+# suites (runtime checker, metamorphic relations) ride along here.
 race:
 	$(GO) test -race -short ./...
 
@@ -26,4 +29,23 @@ race:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkSimWorkers' -benchmem .
 
-ci: vet race
+# golden-diff fails when any figure/ablation statistic or the engine
+# fingerprint drifts from the fixtures in internal/core/testdata/golden.
+# After an intentional change, regenerate with `make golden` and commit the
+# diff alongside the change that caused it.
+golden-diff:
+	$(GO) test ./internal/core -run 'TestGolden' -count=1
+
+golden:
+	$(GO) test ./internal/core -run 'TestGolden' -count=1 -update
+
+# Short randomized runs of the committed fuzz targets (seeds under each
+# package's testdata/fuzz). `go test -fuzz` takes one target per
+# invocation, so each gets its own.
+fuzz-smoke:
+	$(GO) test ./internal/trace -fuzz FuzzReadTraceCSV -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -fuzz FuzzReadMetricCSV -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -fuzz FuzzReadTraceJSONL -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/predict -fuzz FuzzEvaluatePredictors -fuzztime $(FUZZTIME)
+
+ci: vet race golden-diff fuzz-smoke

@@ -26,6 +26,7 @@ func main() {
 		maxVDs  = flag.Int("max-vds", 120, "virtual disks to simulate (0 = all)")
 		workers = flag.Int("workers", 0, "simulation workers (0 = one per CPU)")
 		verbose = flag.Bool("progress", false, "print simulation progress")
+		check   = flag.Bool("check", false, "run the invariant suite over the run (conservation laws, throttle audit)")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 		EventSampleEvery: 8,
 		MaxVDs:           *maxVDs,
 		Workers:          *workers,
+		Check:            *check,
 	}
 	if *verbose {
 		opts.Progress = func(done, total int) {
@@ -64,7 +66,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ebssim:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("simulated %d IOs over %ds (%d VDs)\n\n", len(ds.Trace), *dur, *maxVDs)
+	fmt.Printf("simulated %d IOs over %ds (%d VDs)\n", len(ds.Trace), *dur, *maxVDs)
+	if *check {
+		fmt.Println("invariant suite: all conservation laws hold")
+	}
+	fmt.Println()
 
 	// Per-stage latency percentiles.
 	fmt.Println("latency by stage (us):")

@@ -25,6 +25,7 @@ func newStdRand(seed int64) *stdRand { return rand.New(rand.NewSource(seed)) }
 // rebinding configuration — the ablation knob for the rebinding period and
 // trigger threshold.
 func (s *Study) RebindWithConfig(opt RebindOptions) Fig2dResult {
+	mustOpt(opt.Validate())
 	maxNodes, winSec, cfg := opt.MaxNodes, opt.WinSec, opt.Config
 	if cfg == (hypervisor.RebindConfig{}) {
 		cfg = hypervisor.DefaultRebindConfig()
@@ -68,6 +69,7 @@ type DispatchAblation struct {
 // AblateDispatch replays per-QP slot traffic of the busiest nodes under one
 // dispatch policy (single-WT hosting vs per-IO dispatch).
 func (s *Study) AblateDispatch(opt DispatchOptions) DispatchAblation {
+	mustOpt(opt.Validate())
 	maxNodes, winSec, policy := opt.MaxNodes, opt.WinSec, opt.Policy
 	if maxNodes <= 0 {
 		maxNodes = 40
@@ -104,6 +106,7 @@ type HostingAblation struct {
 // AblateHosting replays each busy node's sampled IO events through both
 // hosting models and compares median wait and isolation.
 func (s *Study) AblateHosting(opt HostingOptions) HostingAblation {
+	mustOpt(opt.Validate())
 	maxNodes, winSec := opt.MaxNodes, opt.WinSec
 	if maxNodes <= 0 {
 		maxNodes = 24
@@ -186,6 +189,7 @@ type CachePolicyAblation struct {
 // AblateCachePolicy replays study VDs through four cache policies at one
 // block size.
 func (s *Study) AblateCachePolicy(opt CachePolicyOptions) CachePolicyAblation {
+	mustOpt(opt.Validate())
 	maxVDs, maxEventsPerVD, blockMiB := opt.MaxVDs, opt.MaxEventsPerVD, opt.BlockMiB
 	if maxVDs <= 0 {
 		maxVDs = 24
@@ -252,6 +256,7 @@ type PredictorAblation struct {
 // AblatePredictors evaluates every implemented predictor at per-period
 // refit cadence.
 func (s *Study) AblatePredictors(opt PredictorOptions) PredictorAblation {
+	mustOpt(opt.Validate())
 	cts := s.clusterTraffics(opt.PeriodSec)
 	var series [][]float64
 	for _, ct := range cts {
@@ -308,6 +313,7 @@ type DeploymentAblation struct {
 // AblateCacheDeployment evaluates the three deployments over the cacheable
 // study VDs.
 func (s *Study) AblateCacheDeployment(opt CacheDeploymentOptions) DeploymentAblation {
+	mustOpt(opt.Validate())
 	maxVDs, maxEventsPerVD := opt.MaxVDs, opt.MaxEventsPerVD
 	blockMiB, cnFrac := opt.BlockMiB, opt.CNFrac
 	if maxVDs <= 0 {
@@ -385,6 +391,7 @@ type FailoverAblation struct {
 // AblateFailover kills the hottest BlockServer of the busiest cluster at
 // mid-window and redistributes its segments under both policies.
 func (s *Study) AblateFailover(opt FailoverOptions) FailoverAblation {
+	mustOpt(opt.Validate())
 	cts := s.clusterTraffics(opt.PeriodSec)
 	victimCluster := s.worstCluster(cts)
 	ct := cts[victimCluster]

@@ -292,6 +292,7 @@ const rebindSampleEvery = trace.SampleRate / 4
 // the *sampled* trace: per-10 ms traffic is a sparse spike train, which is
 // what makes periodic rebinding mostly chase bursts it has already missed.
 func (s *Study) Fig2dRebinding(opt Fig2dOptions) Fig2dResult {
+	mustOpt(opt.Validate())
 	return s.rebindingWithSampling(opt.MaxNodes, opt.WinSec, rebindSampleEvery)
 }
 
@@ -432,6 +433,7 @@ type Fig2efResult struct {
 // hottest-WT 10 ms series has the highest P2A (bursty) and the lowest
 // (calm), returning both series.
 func (s *Study) Fig2efBurstSeries(opt Fig2efOptions) Fig2efResult {
+	mustOpt(opt.Validate())
 	maxNodes, winSec := opt.MaxNodes, opt.WinSec
 	if maxNodes <= 0 {
 		maxNodes = 40

@@ -244,6 +244,7 @@ type Fig3deResult struct {
 // Fig3deReduction evaluates Equation 3 at every throttle event for several
 // lending rates.
 func (s *Study) Fig3deReduction(opt Fig3deOptions) Fig3deResult {
+	mustOpt(opt.Validate())
 	multiVMNode, rates := opt.MultiVMNode, opt.Rates
 	if len(rates) == 0 {
 		rates = []float64{0.2, 0.4, 0.6, 0.8}
@@ -303,6 +304,7 @@ type Fig3fgResult struct {
 // Fig3fgLendingGain simulates Appendix B lending over all groups at several
 // rates.
 func (s *Study) Fig3fgLendingGain(opt Fig3fgOptions) Fig3fgResult {
+	mustOpt(opt.Validate())
 	multiVMNode, rates, periodSec := opt.MultiVMNode, opt.Rates, opt.PeriodSec
 	if len(rates) == 0 {
 		rates = []float64{0.2, 0.4, 0.6, 0.8}

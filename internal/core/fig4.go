@@ -102,6 +102,7 @@ type Fig4aResult struct {
 // on every storage cluster and measures frequent-migration proportions at
 // several window scales (expressed in periods).
 func (s *Study) Fig4aFrequentMigration(opt Fig4aOptions) Fig4aResult {
+	mustOpt(opt.Validate())
 	windows := opt.Windows
 	if len(windows) == 0 {
 		windows = []int{1, 2, 4}
@@ -169,6 +170,7 @@ type Fig4bResult struct {
 // storage cluster with the most frequent migrations under the production
 // policy.
 func (s *Study) Fig4bImporterSelection(opt Fig4bOptions) Fig4bResult {
+	mustOpt(opt.Validate())
 	cts := s.clusterTraffics(opt.PeriodSec)
 	victim := s.worstCluster(cts)
 	ct := cts[victim]
@@ -235,6 +237,7 @@ type Fig4cResult struct {
 // (per-period). epochLen scales the paper's 200-period epoch to our shorter
 // window.
 func (s *Study) Fig4cPredictionMSE(opt Fig4cOptions) Fig4cResult {
+	mustOpt(opt.Validate())
 	epochLen := opt.EpochLen
 	if epochLen <= 0 {
 		epochLen = 30

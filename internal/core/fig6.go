@@ -86,6 +86,7 @@ type Fig6Result struct {
 
 // Fig6HottestBlocks analyzes LBA hotspots over the busiest maxVDs disks.
 func (s *Study) Fig6HottestBlocks(opt Fig6Options) Fig6Result {
+	mustOpt(opt.Validate())
 	maxVDs, maxEventsPerVD := opt.MaxVDs, opt.MaxEventsPerVD
 	if maxVDs <= 0 {
 		maxVDs = 48

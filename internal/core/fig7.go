@@ -25,6 +25,7 @@ type Fig7aResult struct {
 // frozen cache sized to each block size; the frozen cache pins the VD's
 // hottest block of that size, matching §7.3.1's setup.
 func (s *Study) Fig7aHitRatio(opt Fig7aOptions) Fig7aResult {
+	mustOpt(opt.Validate())
 	maxVDs, maxEventsPerVD := opt.MaxVDs, opt.MaxEventsPerVD
 	if maxVDs <= 0 {
 		maxVDs = 32
@@ -90,6 +91,7 @@ type Fig7bcResult struct {
 // locations over the study VDs, using the given frozen-cache block size
 // (2048 MiB in the paper's FC experiments).
 func (s *Study) Fig7bcLatencyGain(opt Fig7bcOptions) Fig7bcResult {
+	mustOpt(opt.Validate())
 	maxVDs, maxEventsPerVD, blockMiB := opt.MaxVDs, opt.MaxEventsPerVD, opt.BlockMiB
 	if maxVDs <= 0 {
 		maxVDs = 24
@@ -186,6 +188,7 @@ type Fig7dResult struct {
 // above threshold, using the generator's ground-truth hotspot model) per
 // compute node and per BlockServer, and compares the spreads.
 func (s *Study) Fig7dSpaceUtilization(opt Fig7dOptions) Fig7dResult {
+	mustOpt(opt.Validate())
 	threshold := opt.Threshold
 	if threshold <= 0 {
 		threshold = 0.25

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"math"
+
 	"ebslab/internal/guestcache"
 	"ebslab/internal/hypervisor"
 )
@@ -8,8 +11,67 @@ import (
 // This file defines the per-method option structs of the Study API. Every
 // figure, table, and ablation method takes one small struct whose zero
 // value selects the documented defaults — callers name only the knobs they
-// change, instead of passing positional zeros. The previous positional
-// forms survive one release as *Legacy wrappers (see legacy.go).
+// change, instead of passing positional zeros. (The positional *Legacy
+// wrappers that bridged the old signatures have been removed.)
+//
+// Each struct has a Validate method mirroring ebs.Options: zero values are
+// defaults and always valid; negative counts and NaN or out-of-range rates
+// are rejected rather than silently rewritten. The Study methods cannot
+// return errors, so they panic on invalid options — misconfigured options
+// are a programming error, like a negative slice capacity.
+
+// intField and rateField are (name, value) pairs checked by the shared
+// validators below.
+type intField struct {
+	name string
+	v    int64
+}
+
+type rateField struct {
+	name string
+	v    float64
+}
+
+// nonNeg rejects negative counts; zero always means "use the default".
+func nonNeg(structName string, fields ...intField) error {
+	for _, f := range fields {
+		if f.v < 0 {
+			return fmt.Errorf("core: %s.%s is %d, want >= 0", structName, f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// unitRate rejects NaN and values outside [0, 1]; rates in this package are
+// fractions (lending rate p, cache split, access-rate threshold).
+func unitRate(structName string, fields ...rateField) error {
+	for _, f := range fields {
+		if math.IsNaN(f.v) || f.v < 0 || f.v > 1 {
+			return fmt.Errorf("core: %s.%s is %v, want a rate in [0, 1]", structName, f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// lendingRates rejects a rate sweep containing NaN or values outside (0, 1);
+// nil selects the documented default sweep.
+func lendingRates(structName string, rates []float64) error {
+	for i, r := range rates {
+		if math.IsNaN(r) || r <= 0 || r >= 1 {
+			return fmt.Errorf("core: %s.Rates[%d] is %v, want a lending rate in (0, 1)", structName, i, r)
+		}
+	}
+	return nil
+}
+
+// mustOpt is the guard the Study methods place in front of their option
+// struct: Validate errors become panics because the methods have no error
+// return.
+func mustOpt(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
 
 // Fig2dOptions tunes the Fig 2(d) rebinding study.
 type Fig2dOptions struct {
@@ -155,4 +217,146 @@ type PageCacheOptions struct {
 	// Guest configures the simulated page cache (zero value = the default
 	// config with a 2 s flush interval).
 	Guest guestcache.Config
+}
+
+// --- Validate methods -------------------------------------------------------
+
+// Validate reports whether the options are usable.
+func (o Fig2dOptions) Validate() error {
+	return nonNeg("Fig2dOptions",
+		intField{"MaxNodes", int64(o.MaxNodes)}, intField{"WinSec", int64(o.WinSec)})
+}
+
+// Validate reports whether the options are usable.
+func (o Fig2efOptions) Validate() error {
+	return nonNeg("Fig2efOptions",
+		intField{"MaxNodes", int64(o.MaxNodes)}, intField{"WinSec", int64(o.WinSec)})
+}
+
+// Validate reports whether the options are usable.
+func (o Fig3deOptions) Validate() error {
+	return lendingRates("Fig3deOptions", o.Rates)
+}
+
+// Validate reports whether the options are usable.
+func (o Fig3fgOptions) Validate() error {
+	if err := lendingRates("Fig3fgOptions", o.Rates); err != nil {
+		return err
+	}
+	return nonNeg("Fig3fgOptions", intField{"PeriodSec", int64(o.PeriodSec)})
+}
+
+// Validate reports whether the options are usable.
+func (o Fig4aOptions) Validate() error {
+	if err := nonNeg("Fig4aOptions", intField{"PeriodSec", int64(o.PeriodSec)}); err != nil {
+		return err
+	}
+	for i, w := range o.Windows {
+		if w <= 0 {
+			return fmt.Errorf("core: Fig4aOptions.Windows[%d] is %d, want > 0", i, w)
+		}
+	}
+	return nil
+}
+
+// Validate reports whether the options are usable.
+func (o Fig4bOptions) Validate() error {
+	return nonNeg("Fig4bOptions", intField{"PeriodSec", int64(o.PeriodSec)})
+}
+
+// Validate reports whether the options are usable.
+func (o Fig4cOptions) Validate() error {
+	return nonNeg("Fig4cOptions",
+		intField{"PeriodSec", int64(o.PeriodSec)}, intField{"EpochLen", int64(o.EpochLen)})
+}
+
+// Validate reports whether the options are usable.
+func (o Fig5aOptions) Validate() error {
+	return nonNeg("Fig5aOptions", intField{"PeriodSec", int64(o.PeriodSec)})
+}
+
+// Validate reports whether the options are usable.
+func (o Fig5bOptions) Validate() error {
+	return nonNeg("Fig5bOptions", intField{"PeriodSec", int64(o.PeriodSec)})
+}
+
+// Validate reports whether the options are usable.
+func (o Fig5cOptions) Validate() error {
+	return nonNeg("Fig5cOptions", intField{"PeriodSec", int64(o.PeriodSec)})
+}
+
+// Validate reports whether the options are usable.
+func (o Fig6Options) Validate() error {
+	return nonNeg("Fig6Options",
+		intField{"MaxVDs", int64(o.MaxVDs)}, intField{"MaxEventsPerVD", int64(o.MaxEventsPerVD)})
+}
+
+// Validate reports whether the options are usable.
+func (o Fig7aOptions) Validate() error {
+	return nonNeg("Fig7aOptions",
+		intField{"MaxVDs", int64(o.MaxVDs)}, intField{"MaxEventsPerVD", int64(o.MaxEventsPerVD)})
+}
+
+// Validate reports whether the options are usable.
+func (o Fig7bcOptions) Validate() error {
+	return nonNeg("Fig7bcOptions",
+		intField{"MaxVDs", int64(o.MaxVDs)}, intField{"MaxEventsPerVD", int64(o.MaxEventsPerVD)},
+		intField{"BlockMiB", o.BlockMiB})
+}
+
+// Validate reports whether the options are usable.
+func (o Fig7dOptions) Validate() error {
+	return unitRate("Fig7dOptions", rateField{"Threshold", o.Threshold})
+}
+
+// Validate reports whether the options are usable.
+func (o RebindOptions) Validate() error {
+	return nonNeg("RebindOptions",
+		intField{"MaxNodes", int64(o.MaxNodes)}, intField{"WinSec", int64(o.WinSec)})
+}
+
+// Validate reports whether the options are usable.
+func (o DispatchOptions) Validate() error {
+	return nonNeg("DispatchOptions",
+		intField{"MaxNodes", int64(o.MaxNodes)}, intField{"WinSec", int64(o.WinSec)})
+}
+
+// Validate reports whether the options are usable.
+func (o HostingOptions) Validate() error {
+	return nonNeg("HostingOptions",
+		intField{"MaxNodes", int64(o.MaxNodes)}, intField{"WinSec", int64(o.WinSec)})
+}
+
+// Validate reports whether the options are usable.
+func (o CachePolicyOptions) Validate() error {
+	return nonNeg("CachePolicyOptions",
+		intField{"MaxVDs", int64(o.MaxVDs)}, intField{"MaxEventsPerVD", int64(o.MaxEventsPerVD)},
+		intField{"BlockMiB", o.BlockMiB})
+}
+
+// Validate reports whether the options are usable.
+func (o PredictorOptions) Validate() error {
+	return nonNeg("PredictorOptions", intField{"PeriodSec", int64(o.PeriodSec)})
+}
+
+// Validate reports whether the options are usable.
+func (o CacheDeploymentOptions) Validate() error {
+	if err := nonNeg("CacheDeploymentOptions",
+		intField{"MaxVDs", int64(o.MaxVDs)}, intField{"MaxEventsPerVD", int64(o.MaxEventsPerVD)},
+		intField{"BlockMiB", o.BlockMiB}); err != nil {
+		return err
+	}
+	return unitRate("CacheDeploymentOptions", rateField{"CNFrac", o.CNFrac})
+}
+
+// Validate reports whether the options are usable.
+func (o FailoverOptions) Validate() error {
+	return nonNeg("FailoverOptions", intField{"PeriodSec", int64(o.PeriodSec)})
+}
+
+// Validate reports whether the options are usable.
+func (o PageCacheOptions) Validate() error {
+	return nonNeg("PageCacheOptions",
+		intField{"MaxVDs", int64(o.MaxVDs)}, intField{"MaxEventsPerVD", int64(o.MaxEventsPerVD)},
+		intField{"BlockMiB", o.BlockMiB})
 }

@@ -31,6 +31,7 @@ type PageCacheStudy struct {
 // through a guest page cache and measures hottest-block dominance before
 // and after.
 func (s *Study) StudyPageCache(opt PageCacheOptions) PageCacheStudy {
+	mustOpt(opt.Validate())
 	maxVDs, maxEventsPerVD := opt.MaxVDs, opt.MaxEventsPerVD
 	blockMiB, cfg := opt.BlockMiB, opt.Guest
 	if maxVDs <= 0 {

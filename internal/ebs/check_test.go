@@ -1,0 +1,170 @@
+package ebs
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ebslab/internal/invariant"
+	"ebslab/internal/trace"
+)
+
+// TestCheckModeCleanRun asserts the runtime validation subsystem passes a
+// healthy run: every conservation law must hold by construction.
+func TestCheckModeCleanRun(t *testing.T) {
+	f := smallFleet(t)
+	ds, err := New(f).Run(Options{
+		DurationSec: 10, TraceSampleEvery: 1, EventSampleEvery: 1,
+		MaxVDs: 8, Check: true,
+	})
+	if err != nil {
+		t.Fatalf("check mode rejected a healthy run: %v", err)
+	}
+	if len(ds.Trace) == 0 {
+		t.Fatal("no trace records")
+	}
+}
+
+// TestCheckModeWithSamplingAndThinning asserts the checkers stay sound when
+// the trace is downsampled and the event stream thinned — the conservation
+// laws must compare like with like under the scaling factors.
+func TestCheckModeWithSamplingAndThinning(t *testing.T) {
+	f := smallFleet(t)
+	if _, err := New(f).Run(Options{
+		DurationSec: 10, TraceSampleEvery: 16, EventSampleEvery: 4,
+		MaxVDs: 10, Check: true,
+	}); err != nil {
+		t.Fatalf("check mode rejected a sampled+thinned run: %v", err)
+	}
+}
+
+// artifactsOf builds check artifacts for a finished run by independently
+// recounting the workload emission.
+func artifactsOf(t *testing.T, r *fleetAndRun) *invariant.Artifacts {
+	t.Helper()
+	em, err := invariant.CountEmission(context.Background(), r.sim.fleet, r.maxVDs, r.dur, 1, 0)
+	if err != nil {
+		t.Fatalf("CountEmission: %v", err)
+	}
+	return &invariant.Artifacts{
+		Fleet:            r.sim.fleet,
+		Dataset:          r.ds,
+		Emission:         em,
+		EventSampleEvery: 1,
+		TraceSampleEvery: 1,
+	}
+}
+
+type fleetAndRun struct {
+	sim    *Sim
+	ds     *trace.Dataset
+	maxVDs int
+	dur    int
+}
+
+func cleanRun(t *testing.T) *fleetAndRun {
+	t.Helper()
+	f := smallFleet(t)
+	sim := New(f)
+	const maxVDs, dur = 8, 10
+	ds, err := sim.Run(Options{DurationSec: dur, TraceSampleEvery: 1, EventSampleEvery: 1, MaxVDs: maxVDs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fleetAndRun{sim: sim, ds: ds, maxVDs: maxVDs, dur: dur}
+}
+
+func wantViolation(t *testing.T, rep *invariant.Report, law string) {
+	t.Helper()
+	if rep.OK() {
+		t.Fatalf("corrupted dataset passed all invariants")
+	}
+	for _, v := range rep.Violations {
+		if v.Law == law {
+			return
+		}
+	}
+	t.Errorf("no %q violation; got:\n%s", law, rep.String())
+}
+
+// TestCheckerCatchesDroppedRecord injects the canonical conservation bug —
+// one IO silently dropped mid-merge — and asserts the runtime checker
+// convicts it (acceptance criterion of the validation subsystem).
+func TestCheckerCatchesDroppedRecord(t *testing.T) {
+	r := cleanRun(t)
+	a := artifactsOf(t, r)
+	if rep := invariant.VerifyRun(a); !rep.OK() {
+		t.Fatalf("baseline not clean:\n%s", rep.String())
+	}
+
+	// Drop one per-IO record from the middle of the merged trace.
+	mid := len(r.ds.Trace) / 2
+	r.ds.Trace = append(r.ds.Trace[:mid:mid], r.ds.Trace[mid+1:]...)
+	rep := invariant.VerifyRun(a)
+	wantViolation(t, rep, "trace/canonical-order")
+	wantViolation(t, rep, "conserve/workload")
+}
+
+// TestCheckerCatchesDroppedRow injects a shard-merge bug in the metric
+// dataset — one compute-domain row lost — and asserts both conservation
+// laws convict it.
+func TestCheckerCatchesDroppedRow(t *testing.T) {
+	r := cleanRun(t)
+	a := artifactsOf(t, r)
+	mid := len(r.ds.Compute) / 2
+	r.ds.Compute = append(r.ds.Compute[:mid:mid], r.ds.Compute[mid+1:]...)
+	rep := invariant.VerifyRun(a)
+	wantViolation(t, rep, "conserve/compute-vs-storage")
+	wantViolation(t, rep, "conserve/workload")
+}
+
+// TestCheckerCatchesCorruptedRow injects a single-row miscount (one extra
+// 4 KiB write attributed to a segment) and asserts the cross-domain law
+// catches it even though every referential field stays valid.
+func TestCheckerCatchesCorruptedRow(t *testing.T) {
+	r := cleanRun(t)
+	a := artifactsOf(t, r)
+	r.ds.Storage[len(r.ds.Storage)/3].WriteBps += 4096
+	rep := invariant.VerifyRun(a)
+	wantViolation(t, rep, "conserve/compute-vs-storage")
+}
+
+// TestCheckerCatchesMisattributedRecord points one record at a storage node
+// other than the one the placement assigns and asserts referential
+// integrity convicts it.
+func TestCheckerCatchesMisattributedRecord(t *testing.T) {
+	r := cleanRun(t)
+	a := artifactsOf(t, r)
+	rec := &r.ds.Trace[len(r.ds.Trace)/4]
+	rec.Storage++
+	rep := invariant.VerifyRun(a)
+	wantViolation(t, rep, "trace/integrity")
+}
+
+// TestDeterminismOracle asserts byte-identical datasets across worker
+// counts via the replay fingerprint oracle.
+func TestDeterminismOracle(t *testing.T) {
+	f := smallFleet(t)
+	sim := New(f)
+	rep := &invariant.Report{}
+	invariant.CheckDeterminism(rep, func(workers int) (*trace.Dataset, error) {
+		return sim.Run(Options{
+			DurationSec: 8, TraceSampleEvery: 1, EventSampleEvery: 2,
+			MaxVDs: 10, Workers: workers,
+		})
+	}, 1, 2, 3)
+	if !rep.OK() {
+		t.Fatalf("engine not worker-count deterministic:\n%s", rep.String())
+	}
+}
+
+// TestCheckModeErrorNamesLaw asserts a violation surfaces through the Run
+// error path with its law identifier, so -check failures are actionable.
+func TestCheckModeErrorNamesLaw(t *testing.T) {
+	rep := &invariant.Report{}
+	rep.Addf("conserve/workload", "VD 3: lost an IO")
+	err := rep.Err()
+	if err == nil || !strings.Contains(err.Error(), "conserve/workload") {
+		t.Fatalf("report error %v does not name the law", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"ebslab/internal/cluster"
 	"ebslab/internal/diting"
+	"ebslab/internal/invariant"
 	"ebslab/internal/latency"
 	"ebslab/internal/par"
 	"ebslab/internal/throttle"
@@ -21,10 +22,12 @@ import (
 func vdIDBase(vd cluster.VDID) uint64 { return (uint64(vd) + 1) << 40 }
 
 // shard is the per-worker simulation state: its own tracer (the tracer is
-// not safe for concurrent use) plus reusable buffers.
+// not safe for concurrent use) plus reusable buffers. In check mode each
+// shard also accumulates its throttle-audit findings.
 type shard struct {
 	tracer *diting.Tracer
 	demand []throttle.Demand
+	audit  []string
 }
 
 // RunContext simulates the fleet's IO for the window across a bounded
@@ -71,12 +74,19 @@ func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, err
 	for i := range shards {
 		shards[i] = &shard{tracer: diting.New(opts.TraceSampleEvery)}
 	}
+	// Check mode counts every emitted IO at the source. Shards own disjoint
+	// virtual disks, so per-VD slots have a single writer and the shared
+	// Emission needs no locking.
+	var emission *invariant.Emission
+	if opts.Check {
+		emission = invariant.NewEmission(len(top.VDs))
+	}
 	var (
 		done      atomic.Int64
 		progressM sync.Mutex
 	)
 	err := par.ForEachWorker(ctx, nVDs, workers, func(worker, vdIdx int) error {
-		if err := s.simulateVD(shards[worker], vdIdx, opts, model, wtOf); err != nil {
+		if err := s.simulateVD(shards[worker], vdIdx, opts, model, wtOf, emission); err != nil {
 			return err
 		}
 		if opts.Progress != nil {
@@ -114,13 +124,28 @@ func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, err
 			VM: vm.ID, Node: vm.Node, App: vm.App, VDs: vm.VDs,
 		})
 	}
+	if opts.Check {
+		rep := invariant.VerifyRun(&invariant.Artifacts{
+			Fleet:            s.fleet,
+			Dataset:          ds,
+			Emission:         emission,
+			EventSampleEvery: opts.EventSampleEvery,
+			TraceSampleEvery: opts.TraceSampleEvery,
+		})
+		for _, sh := range shards {
+			rep.AddAll("throttle/grants", sh.audit)
+		}
+		if err := rep.Err(); err != nil {
+			return nil, fmt.Errorf("ebs: check mode: %w", err)
+		}
+	}
 	return ds, nil
 }
 
 // simulateVD replays one virtual disk's window into the shard's tracer:
 // throttle replay for queue delay, event generation, per-stage latency
 // sampling from the disk-derived RNG stream.
-func (s *Sim) simulateVD(sh *shard, vdIdx int, opts Options, model *latency.Model, wtOf map[cluster.QPID]int8) error {
+func (s *Sim) simulateVD(sh *shard, vdIdx int, opts Options, model *latency.Model, wtOf map[cluster.QPID]int8, emission *invariant.Emission) error {
 	top := s.fleet.Topology
 	vdID := cluster.VDID(vdIdx)
 	vd := &top.VDs[vdIdx]
@@ -139,9 +164,18 @@ func (s *Sim) simulateVD(sh *shard, vdIdx int, opts Options, model *latency.Mode
 				ReadIOPS: smp.ReadIOPS, WriteIOPS: smp.WriteIOPS,
 			})
 		}
-		res := throttle.Simulate(
-			[]throttle.Caps{{Tput: vd.ThroughputCap, IOPS: vd.IOPSCap}},
-			[][]throttle.Demand{sh.demand})
+		caps := []throttle.Caps{{Tput: vd.ThroughputCap, IOPS: vd.IOPSCap}}
+		group := [][]throttle.Demand{sh.demand}
+		var res throttle.Result
+		if opts.Check {
+			var msgs []string
+			res, msgs = throttle.SimulateAudited(caps, group)
+			for _, m := range msgs {
+				sh.audit = append(sh.audit, fmt.Sprintf("VD %d: %s", vdID, m))
+			}
+		} else {
+			res = throttle.Simulate(caps, group)
+		}
 		queueDelay = res.QueueDelaySec[0]
 	}
 
@@ -153,6 +187,9 @@ func (s *Sim) simulateVD(sh *shard, vdIdx int, opts Options, model *latency.Mode
 	s.fleet.GenEvents(vdID, opts.DurationSec, opts.EventSampleEvery, func(ev workload.Event) {
 		if genErr != nil {
 			return
+		}
+		if emission != nil {
+			emission.Add(vdID, ev.Op, ev.Size)
 		}
 		seg := top.SegmentOfOffset(vdID, ev.Offset)
 		sn := s.fleet.Seg2BS.BSOf(seg)

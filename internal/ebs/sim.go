@@ -44,6 +44,13 @@ type Options struct {
 	Workers int
 	// DisableThrottle turns off the hypervisor throttle.
 	DisableThrottle bool
+	// Check enables the runtime validation subsystem (the -check mode of
+	// cmd/ebssim): the engine counts every IO the workload layer emits,
+	// audits each per-VD throttle replay, and runs the invariant.DefaultSuite
+	// conservation laws over the merged dataset. Any violation fails the run
+	// with an error describing the broken law. Checking costs a constant
+	// factor (~2x) but no extra passes over the fleet.
+	Check bool
 	// Latency overrides the latency model (default latency.Default()).
 	Latency *latency.Model
 	// Seed overrides the base seed of the per-VD latency sampling streams

@@ -1,0 +1,100 @@
+package invariant
+
+import (
+	"math"
+
+	"ebslab/internal/balancer"
+	"ebslab/internal/cluster"
+	"ebslab/internal/stats"
+)
+
+// CheckBalancer replays a balancer run's migration log against a clone of
+// the starting placement and asserts the §6 conservation laws:
+//
+//   - every migration moves a segment from the BlockServer that actually
+//     hosted it at that point in the replay (no phantom or duplicate moves),
+//     to a distinct in-range importer;
+//   - migrations only rearrange load — each period's summed per-BS traffic
+//     equals the summed segment traffic, whatever the placement;
+//   - the per-period CoVs the run reported are exactly what the replayed
+//     placements yield (loads are re-accumulated in the balancer's own
+//     iteration order, so agreement is bit-exact, NaN matching NaN).
+func CheckBalancer(rep *Report, seg2bs *cluster.SegmentMap, segTraffic [][]balancer.RW, res *balancer.Result) {
+	const law = "conserve/balancer"
+	if len(segTraffic) != seg2bs.Len() {
+		rep.Addf(law, "%d traffic rows for %d segments", len(segTraffic), seg2bs.Len())
+		return
+	}
+	placement := seg2bs.Clone()
+	nBS := placement.NumBS()
+	nPeriods := len(res.WriteCoV)
+	if len(res.ReadCoV) != nPeriods {
+		rep.Addf(law, "%d write-CoV periods but %d read-CoV periods", nPeriods, len(res.ReadCoV))
+		return
+	}
+
+	mig := res.Migrations
+	lastPeriod := -1
+	for p := 0; p < nPeriods; p++ {
+		// Measure the period under the replayed placement, accumulating in
+		// the balancer's own (segment-ascending) order.
+		bsW := make([]float64, nBS)
+		bsR := make([]float64, nBS)
+		var segW, segR float64
+		for seg, rows := range segTraffic {
+			b := placement.BSOf(cluster.SegmentID(seg))
+			bsW[b] += rows[p].W
+			bsR[b] += rows[p].R
+			segW += rows[p].W
+			segR += rows[p].R
+		}
+		var sumW, sumR float64
+		for b := 0; b < nBS; b++ {
+			sumW += bsW[b]
+			sumR += bsR[b]
+		}
+		if !relEq(sumW, segW) || !relEq(sumR, segR) {
+			rep.Addf(law, "period %d: per-BS load %v/%v B does not conserve segment traffic %v/%v B",
+				p, sumW, sumR, segW, segR)
+		}
+		if w := stats.NormCoV(bsW); !eqNaN(w, res.WriteCoV[p]) {
+			rep.Addf(law, "period %d: reported write CoV %v, replay yields %v", p, res.WriteCoV[p], w)
+		}
+		if r := stats.NormCoV(bsR); !eqNaN(r, res.ReadCoV[p]) {
+			rep.Addf(law, "period %d: reported read CoV %v, replay yields %v", p, res.ReadCoV[p], r)
+		}
+
+		// Apply this period's migrations in log order.
+		for len(mig) > 0 && mig[0].Period == p {
+			m := mig[0]
+			mig = mig[1:]
+			if m.Period < lastPeriod {
+				rep.Addf(law, "migration of segment %d: period %d after period %d in the log", m.Seg, m.Period, lastPeriod)
+			}
+			lastPeriod = m.Period
+			if m.Seg < 0 || int(m.Seg) >= placement.Len() {
+				rep.Addf(law, "period %d: migration of unknown segment %d", p, m.Seg)
+				continue
+			}
+			if got := placement.BSOf(m.Seg); got != m.From {
+				rep.Addf(law, "period %d: migration claims segment %d was on BS %d, replay has it on %d",
+					p, m.Seg, m.From, got)
+			}
+			if m.To < 0 || int(m.To) >= nBS || m.To == m.From {
+				rep.Addf(law, "period %d: segment %d migrated to invalid importer %d (from %d)", p, m.Seg, m.To, m.From)
+				continue
+			}
+			placement.Move(m.Seg, m.To)
+		}
+	}
+	for _, m := range mig {
+		rep.Addf(law, "migration of segment %d in period %d beyond the run's %d periods", m.Seg, m.Period, nPeriods)
+	}
+}
+
+func eqNaN(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return a == b
+}

@@ -1,0 +1,80 @@
+package invariant
+
+import (
+	"fmt"
+
+	"ebslab/internal/cache"
+)
+
+// CacheAudit wraps a cache.Cache and enforces the cache-layer accounting law
+// on every touch: each access is exactly a hit or a miss (hits + misses ==
+// accesses, tallied independently of the simulator's own counters) and the
+// resident set never exceeds capacity. It implements cache.Cache, so it
+// drops into cache.Simulate transparently.
+type CacheAudit struct {
+	Inner        cache.Cache
+	Hits, Misses int64
+	violations   []string
+}
+
+// NewCacheAudit wraps c.
+func NewCacheAudit(c cache.Cache) *CacheAudit { return &CacheAudit{Inner: c} }
+
+// Name implements cache.Cache.
+func (a *CacheAudit) Name() string { return a.Inner.Name() }
+
+// Len implements cache.Cache.
+func (a *CacheAudit) Len() int { return a.Inner.Len() }
+
+// Capacity implements cache.Cache.
+func (a *CacheAudit) Capacity() int { return a.Inner.Capacity() }
+
+// Touch implements cache.Cache, auditing the inner policy.
+func (a *CacheAudit) Touch(page int64, write bool) bool {
+	hit := a.Inner.Touch(page, write)
+	if hit {
+		a.Hits++
+	} else {
+		a.Misses++
+	}
+	if n, c := a.Inner.Len(), a.Inner.Capacity(); n > c && len(a.violations) < maxPerLaw {
+		a.violations = append(a.violations,
+			fmt.Sprintf("resident set %d pages exceeds capacity %d after touching page %d", n, c, page))
+	}
+	return hit
+}
+
+// SimulateChecked replays accesses through an audited copy of c and folds
+// any violations — including any disagreement between the simulator's
+// hit/total counters and the audit's independent tally — into rep.
+func SimulateChecked(rep *Report, c cache.Cache, accesses []cache.Access) cache.SimResult {
+	const law = "conserve/cache"
+	audit := NewCacheAudit(c)
+	res := cache.Simulate(audit, accesses)
+	rep.AddAll(law, audit.violations)
+
+	// Accesses expand to page touches; recount them independently.
+	var wantPages int64
+	for _, ac := range accesses {
+		if ac.Size <= 0 {
+			rep.Addf(law, "access at offset %d has non-positive size %d", ac.Offset, ac.Size)
+			continue
+		}
+		first := ac.Offset / cache.PageSize
+		last := (ac.Offset + int64(ac.Size) - 1) / cache.PageSize
+		wantPages += last - first + 1
+	}
+	if total := audit.Hits + audit.Misses; total != wantPages {
+		rep.Addf(law, "cache saw %d page touches for %d pages of accesses", total, wantPages)
+	}
+	if res.PageTotal != audit.Hits+audit.Misses {
+		rep.Addf(law, "simulator counted %d touches, audit counted %d", res.PageTotal, audit.Hits+audit.Misses)
+	}
+	if res.PageHits != audit.Hits {
+		rep.Addf(law, "simulator counted %d hits, audit counted %d", res.PageHits, audit.Hits)
+	}
+	if res.PageHits < 0 || res.PageHits > res.PageTotal {
+		rep.Addf(law, "hits %d outside [0, %d]", res.PageHits, res.PageTotal)
+	}
+	return res
+}

@@ -1,0 +1,88 @@
+package invariant
+
+import (
+	"context"
+	"fmt"
+
+	"ebslab/internal/cluster"
+	"ebslab/internal/par"
+	"ebslab/internal/trace"
+	"ebslab/internal/workload"
+)
+
+// VDEmission is the ground-truth IO accounting of one virtual disk at the
+// workload layer: what the generator emitted before any downstream layer
+// touched it. All counters are exact integers, so comparisons against
+// metric-row sums (integer-valued float64s) are exact.
+type VDEmission struct {
+	Events     int64
+	ReadOps    int64
+	WriteOps   int64
+	ReadBytes  int64
+	WriteBytes int64
+}
+
+// Emission is the per-VD workload-layer accounting of one run.
+type Emission struct {
+	PerVD []VDEmission
+}
+
+// NewEmission allocates accounting for nVDs disks.
+func NewEmission(nVDs int) *Emission {
+	return &Emission{PerVD: make([]VDEmission, nVDs)}
+}
+
+// Add records one emitted IO. It is not safe for concurrent use on the same
+// VD slot; the engine's shards each own disjoint VD slots, so per-slot
+// single-writer discipline makes fleet-wide counting race-free.
+func (e *Emission) Add(vd cluster.VDID, op trace.Op, size int32) {
+	s := &e.PerVD[vd]
+	s.Events++
+	if op == trace.OpRead {
+		s.ReadOps++
+		s.ReadBytes += int64(size)
+	} else {
+		s.WriteOps++
+		s.WriteBytes += int64(size)
+	}
+}
+
+// Total sums the per-VD accounting.
+func (e *Emission) Total() VDEmission {
+	var t VDEmission
+	for i := range e.PerVD {
+		s := &e.PerVD[i]
+		t.Events += s.Events
+		t.ReadOps += s.ReadOps
+		t.WriteOps += s.WriteOps
+		t.ReadBytes += s.ReadBytes
+		t.WriteBytes += s.WriteBytes
+	}
+	return t
+}
+
+// CountEmission independently replays the workload generator for the first
+// nVDs disks and returns the ground-truth accounting. Because the generator
+// is deterministic per (seed, VD), this recount is exactly what the engine
+// must have seen — any divergence from the dataset is a conservation bug in
+// the engine or the merge, not noise. Disks are recounted in parallel
+// across the worker pool (0 = one per CPU).
+func CountEmission(ctx context.Context, f *workload.Fleet, nVDs, durSec, eventSampleEvery, workers int) (*Emission, error) {
+	if nVDs < 0 || nVDs > len(f.Topology.VDs) {
+		return nil, fmt.Errorf("invariant: nVDs %d outside [0, %d]", nVDs, len(f.Topology.VDs))
+	}
+	if eventSampleEvery < 1 {
+		eventSampleEvery = 1
+	}
+	em := NewEmission(len(f.Topology.VDs))
+	err := par.ForEach(ctx, nVDs, workers, func(vdIdx int) error {
+		f.GenEvents(cluster.VDID(vdIdx), durSec, eventSampleEvery, func(ev workload.Event) {
+			em.Add(cluster.VDID(vdIdx), ev.Op, ev.Size)
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return em, nil
+}

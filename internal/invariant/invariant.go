@@ -1,0 +1,149 @@
+// Package invariant is the simulation's runtime validation subsystem: a
+// pluggable set of checkers that assert the cross-layer conservation laws
+// the study's conclusions rest on. Every IO emitted by internal/workload
+// must be accounted for at the hypervisor (compute-domain metric rows), the
+// throttle (grants never exceed the cap-plus-lent budget), the BlockServer
+// (storage-domain metric rows), and the cache (hits+misses == accesses);
+// shard merging must neither drop nor duplicate work; and replays must be
+// byte-identical under differing worker counts and VD permutations.
+//
+// The engine runs the default suite when ebs.Options.Check is set (the
+// `-check` mode of cmd/ebssim); tests compose individual checkers directly.
+// A violation is a bug in the simulator, never in the workload: the laws
+// hold by construction, so any failure means semantic drift.
+package invariant
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Violation is one broken law. Law is a stable slash-separated identifier
+// ("conserve/compute-vs-storage"); Msg carries the specifics.
+type Violation struct {
+	Law string
+	Msg string
+}
+
+func (v Violation) String() string { return v.Law + ": " + v.Msg }
+
+// maxPerLaw bounds how many violations of one law a report retains, so a
+// systemic bug reports its shape without flooding memory.
+const maxPerLaw = 8
+
+// Report collects violations across checkers. The zero value is ready to
+// use.
+type Report struct {
+	Violations []Violation
+	perLaw     map[string]int
+	suppressed int
+}
+
+// Addf records one violation of law, suppressing beyond maxPerLaw per law.
+func (r *Report) Addf(law, format string, args ...any) {
+	if r.perLaw == nil {
+		r.perLaw = make(map[string]int)
+	}
+	r.perLaw[law]++
+	if r.perLaw[law] > maxPerLaw {
+		r.suppressed++
+		return
+	}
+	r.Violations = append(r.Violations, Violation{Law: law, Msg: fmt.Sprintf(format, args...)})
+}
+
+// AddAll records pre-rendered violation messages under one law (used to
+// fold audit logs from other packages into a report).
+func (r *Report) AddAll(law string, msgs []string) {
+	for _, m := range msgs {
+		r.Addf(law, "%s", m)
+	}
+}
+
+// OK reports whether every law held.
+func (r *Report) OK() bool { return len(r.Violations) == 0 && r.suppressed == 0 }
+
+// Err returns nil when the report is clean, or an error rendering every
+// retained violation.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("invariant: %s", r.String())
+}
+
+// String renders the report for logs.
+func (r *Report) String() string {
+	if r.OK() {
+		return "all invariants hold"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d violation(s)", len(r.Violations)+r.suppressed)
+	for _, v := range r.Violations {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	if r.suppressed > 0 {
+		fmt.Fprintf(&b, "\n  (%d further suppressed)", r.suppressed)
+	}
+	return b.String()
+}
+
+// Checker is one invariant over a simulation run's artifacts. Checkers must
+// be pure observers: they may not mutate the artifacts.
+type Checker interface {
+	// Name identifies the checker in reports and suite listings.
+	Name() string
+	// Check appends any violations to rep.
+	Check(a *Artifacts, rep *Report)
+}
+
+// Suite is an ordered collection of checkers run as a unit.
+type Suite struct {
+	checkers []Checker
+}
+
+// NewSuite builds a suite from the given checkers.
+func NewSuite(cs ...Checker) *Suite { return &Suite{checkers: cs} }
+
+// Add appends further checkers (the plug-in point for future layers).
+func (s *Suite) Add(cs ...Checker) *Suite {
+	s.checkers = append(s.checkers, cs...)
+	return s
+}
+
+// Names lists the suite's checkers in run order.
+func (s *Suite) Names() []string {
+	out := make([]string, len(s.checkers))
+	for i, c := range s.checkers {
+		out[i] = c.Name()
+	}
+	return out
+}
+
+// Run executes every checker against the artifacts and returns the combined
+// report.
+func (s *Suite) Run(a *Artifacts) *Report {
+	rep := &Report{}
+	for _, c := range s.checkers {
+		c.Check(a, rep)
+	}
+	return rep
+}
+
+// DefaultSuite returns the checkers the engine's -check mode runs: trace
+// referential integrity, canonical ordering, metric-row sanity, and the
+// conservation laws across the compute/storage domains and (when an
+// Emission is supplied) against the workload layer itself.
+func DefaultSuite() *Suite {
+	return NewSuite(
+		traceIntegrity{},
+		traceCanonical{},
+		rowSanity{},
+		domainConservation{},
+		workloadConservation{},
+	)
+}
+
+// VerifyRun runs the default suite over the artifacts.
+func VerifyRun(a *Artifacts) *Report { return DefaultSuite().Run(a) }

@@ -1,0 +1,63 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+// seriesFromBytes decodes fuzz bytes into a finite traffic series: two
+// bytes per point, one for the mantissa (signed, so robustness to negative
+// inputs is covered even though traffic is non-negative) and one for a
+// decimal exponent spanning twelve orders of magnitude in each direction.
+func seriesFromBytes(data []byte) []float64 {
+	const maxPoints = 96
+	var out []float64
+	for i := 0; i+1 < len(data) && len(out) < maxPoints; i += 2 {
+		mant := float64(int(data[i]) - 128)
+		exp := int(data[i+1])%25 - 12
+		out = append(out, mant*math.Pow(10, float64(exp)))
+	}
+	return out
+}
+
+// FuzzEvaluatePredictors walks every prediction method over arbitrary
+// finite series and asserts the package contract: no panics, and every
+// forecast is finite and non-negative (the clamp all methods apply, since
+// traffic cannot be negative). Evaluate may reject a series with an error;
+// it must never crash on one.
+func FuzzEvaluatePredictors(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{255, 24, 0, 24, 255, 0, 0, 0, 128, 12, 127, 24}) // extremes
+	f.Add([]byte{130, 12, 130, 12, 130, 12, 130, 12, 130, 12})    // constant
+	f.Add([]byte{128, 0, 129, 0, 130, 0, 131, 0, 132, 0, 133, 0}) // linear ramp
+	f.Fuzz(func(t *testing.T, data []byte) {
+		series := seriesFromBytes(data)
+		if len(series) < 6 {
+			return
+		}
+		predictors := []Predictor{
+			&Naive{},
+			NewLinearFit(5),
+			NewHolt(),
+			&EWMA{},
+			NewARIMA(2, 1),
+			NewGBT(4, 8, 2, 0.3),
+			NewAttention(4, 16),
+		}
+		for _, p := range predictors {
+			res, err := Evaluate(p, series, 4, 2)
+			if err != nil {
+				t.Fatalf("%s: Evaluate rejected a finite series: %v", p.Name(), err)
+			}
+			for i, v := range res.Preds {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s: non-finite forecast %v at step %d", p.Name(), v, i)
+				}
+				if _, isNaive := p.(*Naive); !isNaive && v < 0 {
+					t.Fatalf("%s: negative forecast %v at step %d", p.Name(), v, i)
+				}
+			}
+		}
+	})
+}

@@ -78,7 +78,7 @@ func SimulateWithLending(caps []Caps, demand [][]Demand, lend Lending) Result {
 	if lend.PeriodSec <= 0 {
 		lend.PeriodSec = 60
 	}
-	return simulate(caps, demand, &lend)
+	return simulate(caps, demand, &lend, nil)
 }
 
 // LendingGain compares throttle durations without and with lending:

@@ -8,6 +8,7 @@
 package throttle
 
 import (
+	"fmt"
 	"math"
 
 	"ebslab/internal/stats"
@@ -92,11 +93,104 @@ type Result struct {
 // drains in later seconds, so a burst's throttle outlasts the burst itself
 // (the latency-spike behaviour Calcspar reported on AWS EBS).
 func Simulate(caps []Caps, demand [][]Demand) Result {
-	return simulate(caps, demand, nil)
+	return simulate(caps, demand, nil, nil)
 }
 
-// simulate optionally applies a lending policy; lend may be nil.
-func simulate(caps []Caps, demand [][]Demand, lend *Lending) Result {
+// SimulateAudited is Simulate with the conservation audit enabled: every
+// second the replay asserts the grant-budget laws (effective caps are
+// non-negative and sum to the nominal caps, delivered traffic never exceeds
+// the effective cap, backlogs stay within the finite queue bound). It
+// returns the result together with any violations found; an empty slice
+// means every law held.
+func SimulateAudited(caps []Caps, demand [][]Demand) (Result, []string) {
+	a := &auditLog{}
+	res := simulate(caps, demand, nil, a)
+	return res, a.msgs
+}
+
+// SimulateWithLendingAudited is SimulateWithLending with the conservation
+// audit enabled (see SimulateAudited). Lending makes the budget law
+// non-trivial: borrowed headroom must be debited from lenders so the
+// group's summed effective cap never exceeds its summed nominal cap.
+func SimulateWithLendingAudited(caps []Caps, demand [][]Demand, lend Lending) (Result, []string) {
+	if lend.Rate <= 0 || lend.Rate >= 1 {
+		panic("throttle: lending rate must be in (0,1)")
+	}
+	if lend.PeriodSec <= 0 {
+		lend.PeriodSec = 60
+	}
+	a := &auditLog{}
+	res := simulate(caps, demand, &lend, a)
+	return res, a.msgs
+}
+
+// auditLog accumulates conservation violations, capped so a systemic bug
+// cannot flood memory.
+type auditLog struct {
+	msgs    []string
+	dropped int
+}
+
+// maxAuditMsgs bounds how many violations one audit retains.
+const maxAuditMsgs = 32
+
+func (a *auditLog) addf(format string, args ...any) {
+	if len(a.msgs) >= maxAuditMsgs {
+		a.dropped++
+		return
+	}
+	a.msgs = append(a.msgs, fmt.Sprintf(format, args...))
+}
+
+// auditTol is the relative tolerance of the audit comparisons: backlog
+// arithmetic accumulates float residue, so exact comparisons would flag
+// rounding, not bugs.
+const auditTol = 1e-6
+
+// checkSecond asserts the per-second grant-budget laws after lending.
+func (a *auditLog) checkSecond(t int, eff, nominal []Caps) {
+	var effT, effI, nomT, nomI float64
+	for i := range eff {
+		if eff[i].Tput < 0 || eff[i].IOPS < 0 {
+			a.addf("sec %d: vd %d effective cap negative (%v tput, %v iops)", t, i, eff[i].Tput, eff[i].IOPS)
+		}
+		effT += eff[i].Tput
+		effI += eff[i].IOPS
+		nomT += nominal[i].Tput
+		nomI += nominal[i].IOPS
+	}
+	if effT > nomT*(1+auditTol)+auditTol {
+		a.addf("sec %d: summed effective tput cap %v exceeds nominal budget %v", t, effT, nomT)
+	}
+	if effI > nomI*(1+auditTol)+auditTol {
+		a.addf("sec %d: summed effective iops cap %v exceeds nominal budget %v", t, effI, nomI)
+	}
+}
+
+// checkDelivery asserts per-VD delivery and queue laws for one second.
+func (a *auditLog) checkDelivery(t, vd int, deliveredB, deliveredOps float64, eff Caps, backlogB, backlogOps, delay float64) {
+	if deliveredB > eff.Tput*(1+auditTol)+auditTol {
+		a.addf("sec %d: vd %d delivered %v B/s over effective cap %v", t, vd, deliveredB, eff.Tput)
+	}
+	if deliveredOps > eff.IOPS*(1+auditTol)+auditTol {
+		a.addf("sec %d: vd %d delivered %v IOPS over effective cap %v", t, vd, deliveredOps, eff.IOPS)
+	}
+	if backlogB < 0 || backlogOps < 0 {
+		a.addf("sec %d: vd %d negative backlog (%v B, %v ops)", t, vd, backlogB, backlogOps)
+	}
+	if lim := maxQueueSecs * eff.Tput; backlogB > lim*(1+auditTol)+auditTol {
+		a.addf("sec %d: vd %d byte backlog %v over queue bound %v", t, vd, backlogB, lim)
+	}
+	if lim := maxQueueSecs * eff.IOPS; backlogOps > lim*(1+auditTol)+auditTol {
+		a.addf("sec %d: vd %d ops backlog %v over queue bound %v", t, vd, backlogOps, lim)
+	}
+	if delay < 0 || delay > maxQueueSecs*(1+auditTol)+auditTol {
+		a.addf("sec %d: vd %d queue delay %v outside [0, %v]", t, vd, delay, maxQueueSecs)
+	}
+}
+
+// simulate optionally applies a lending policy and an audit; both may be nil.
+func simulate(caps []Caps, demand [][]Demand, lend *Lending, audit *auditLog) Result {
 	n := len(caps)
 	if len(demand) != n {
 		panic("throttle: demand rows must match caps")
@@ -216,11 +310,29 @@ func simulate(caps []Caps, demand [][]Demand, lend *Lending) Result {
 				}
 			}
 			res.QueueDelaySec[vd][t] = delay
+			if audit != nil {
+				audit.checkDelivery(t, vd, deliveredB, deliveredOps, eff[vd], backlogB[vd], backlogOps[vd], delay)
+			}
+		}
+		if audit != nil {
+			audit.checkSecond(t, eff, caps)
 		}
 	}
 	if dur > 0 {
 		for vd := range res.DeliveredBps {
 			res.DeliveredBps[vd] /= float64(dur)
+		}
+	}
+	if audit != nil {
+		var sum int
+		for _, s := range res.ThrottledSecs {
+			sum += s
+		}
+		if sum != res.TotalThrottledSecs {
+			audit.addf("throttled-seconds accounting drift: per-VD sum %d != total %d", sum, res.TotalThrottledSecs)
+		}
+		if audit.dropped > 0 {
+			audit.addf("(%d further violations suppressed)", audit.dropped)
 		}
 	}
 	return res
