@@ -1,12 +1,15 @@
 # Developer entry points. `make ci` is the gate: vet, the full test suite
 # under the race detector on a short-window fleet (the tests build their own
-# small fleets, so the race run stays fast), the golden-fixture drift check,
-# and a short randomized run of every fuzz target.
+# small fleets, so the race run stays fast — and it includes the netblock
+# client-vs-server stress test with wire faults enabled), the golden-fixture
+# drift check, a short randomized run of every fuzz target, coverage over the
+# fault-injection packages, and a seeded chaos smoke run with the invariant
+# checker.
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test race vet bench golden golden-diff fuzz-smoke ci
+.PHONY: all build test race vet bench golden golden-diff fuzz-smoke cover chaos-smoke ci
 
 all: build
 
@@ -48,4 +51,16 @@ fuzz-smoke:
 	$(GO) test ./internal/trace -fuzz FuzzReadTraceJSONL -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/predict -fuzz FuzzEvaluatePredictors -fuzztime $(FUZZTIME)
 
-ci: vet race golden-diff fuzz-smoke
+# Coverage over the fault-injection surface: the chaos layer itself plus
+# every package it reaches into (RPC substrate, engine, balancer, throttle,
+# invariants).
+cover:
+	$(GO) test -cover ./internal/chaos ./internal/netblock ./internal/ebs \
+		./internal/balancer ./internal/throttle ./internal/invariant
+
+# Short seeded chaos run with the invariant checker on: a recoverable fault
+# schedule must pass every conservation law end to end.
+chaos-smoke:
+	$(GO) run ./cmd/ebssim -seed 7 -dur 20 -nodes 4 -max-vds 24 -chaos -check
+
+ci: vet race golden-diff fuzz-smoke cover chaos-smoke

@@ -11,6 +11,7 @@ import (
 	"os/signal"
 	"sort"
 
+	"ebslab/internal/chaos"
 	"ebslab/internal/cluster"
 	"ebslab/internal/ebs"
 	"ebslab/internal/stats"
@@ -27,6 +28,14 @@ func main() {
 		workers = flag.Int("workers", 0, "simulation workers (0 = one per CPU)")
 		verbose = flag.Bool("progress", false, "print simulation progress")
 		check   = flag.Bool("check", false, "run the invariant suite over the run (conservation laws, throttle audit)")
+
+		chaosOn     = flag.Bool("chaos", false, "inject a deterministic fault schedule (see -crashes, -storms, ...)")
+		chaosSeed   = flag.Int64("chaos-seed", 0, "fault schedule seed (0 = follow -seed)")
+		crashes     = flag.Int("crashes", 2, "BlockServer crash-and-recover windows to schedule")
+		downSec     = flag.Int("down-sec", 5, "mean crash window length in seconds")
+		penaltyUS   = flag.Float64("penalty-us", 0, "frontend-net latency penalty (us) for IOs hitting a crashed BS (0 = observe only)")
+		storms      = flag.Int("storms", 1, "hot-tenant traffic storms to schedule")
+		stormFactor = flag.Float64("storm-factor", 8, "demand multiplier inside a storm window")
 	)
 	flag.Parse()
 
@@ -54,6 +63,19 @@ func main() {
 		Workers:          *workers,
 		Check:            *check,
 	}
+	var chaosStats chaos.Stats
+	if *chaosOn {
+		opts.Chaos = &chaos.Plan{
+			Seed:              *chaosSeed,
+			BSCrashes:         *crashes,
+			MeanDownSec:       *downSec,
+			FailoverPenaltyUS: *penaltyUS,
+			Storms:            *storms,
+			StormFactor:       *stormFactor,
+			Recoverable:       true,
+		}
+		opts.ChaosStats = &chaosStats
+	}
 	if *verbose {
 		opts.Progress = func(done, total int) {
 			if done%50 == 0 || done == total {
@@ -69,6 +91,15 @@ func main() {
 	fmt.Printf("simulated %d IOs over %ds (%d VDs)\n", len(ds.Trace), *dur, *maxVDs)
 	if *check {
 		fmt.Println("invariant suite: all conservation laws hold")
+	}
+	if *chaosOn {
+		sched := opts.Chaos.Expand(*seed, chaos.Shape{
+			BSs:    len(fleet.Topology.StorageNodes),
+			VDs:    len(fleet.Topology.VDs),
+			DurSec: *dur,
+		})
+		fmt.Println(sched)
+		fmt.Println(chaosStats)
 	}
 	fmt.Println()
 

@@ -11,6 +11,7 @@ package balancer
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 
 	"ebslab/internal/cluster"
@@ -81,6 +82,9 @@ type Migration struct {
 	To     cluster.StorageNodeID
 	// Read reports whether the move came from the read-balancing pass.
 	Read bool
+	// Failover reports whether the move evacuated a crashed BlockServer
+	// (RunWithFailures) rather than rebalancing load.
+	Failover bool
 }
 
 // Result summarizes one balancer run.
@@ -147,19 +151,120 @@ func Run(seg2bs *cluster.SegmentMap, segTraffic [][]RW, policy ImporterPolicy, c
 
 		// Write-balancing pass (Algorithm 1).
 		res.Migrations = append(res.Migrations,
-			balancePass(placement, segTraffic, p, bsW, bsHistW, policy, cfg, false)...)
+			balancePass(placement, segTraffic, p, bsW, bsHistW, policy, cfg, false, nil)...)
 		if cfg.Mode == WriteThenRead {
 			res.Migrations = append(res.Migrations,
-				balancePass(placement, segTraffic, p, bsR, bsHistR, readPolicy, cfg, true)...)
+				balancePass(placement, segTraffic, p, bsR, bsHistR, readPolicy, cfg, true, nil)...)
 		}
 	}
 	return res
 }
 
+// DownFn reports whether a BlockServer is inside a crash window during a
+// balancing period (chaos.Schedule.DownFnPeriods adapts a fault schedule to
+// this shape).
+type DownFn func(period int, bs cluster.StorageNodeID) bool
+
+// RunWithFailures is Run under a crash schedule. At the start of each
+// period, every newly-crashed BlockServer is evacuated: its segments are
+// re-homed across the healthy survivors by the failover policy (recorded as
+// Failover migrations). While down, a BS is excluded from exporter scans and
+// importer selection — if the importer policy nominates a casualty, the
+// balancer falls back to the least-loaded healthy BS. A recovered BS rejoins
+// empty the following period and is re-admitted by normal importer
+// selection. A nil down delegates to Run.
+func RunWithFailures(seg2bs *cluster.SegmentMap, segTraffic [][]RW, policy ImporterPolicy,
+	cfg Config, down DownFn, fpol FailoverPolicy, rng *rand.Rand) Result {
+	if down == nil {
+		return Run(seg2bs, segTraffic, policy, cfg)
+	}
+	if len(segTraffic) != seg2bs.Len() {
+		panic(fmt.Sprintf("balancer: %d traffic rows for %d segments", len(segTraffic), seg2bs.Len()))
+	}
+	if cfg.ExporterThreshold <= 1 {
+		cfg.ExporterThreshold = 1.2
+	}
+	if cfg.MigrateFraction <= 0 {
+		cfg.MigrateFraction = 0.2
+	}
+	placement := seg2bs.Clone()
+	nBS := placement.NumBS()
+	var nPeriods int
+	if len(segTraffic) > 0 {
+		nPeriods = len(segTraffic[0])
+	}
+	res := Result{Policy: policy.Name(), Mode: cfg.Mode}
+
+	bsHistW := make([][]float64, nBS)
+	bsHistR := make([][]float64, nBS)
+	for b := 0; b < nBS; b++ {
+		bsHistW[b] = make([]float64, 0, nPeriods)
+		bsHistR[b] = make([]float64, 0, nPeriods)
+	}
+	readPolicy := cfg.ReadPolicy
+	if readPolicy == nil {
+		readPolicy = policy
+	}
+
+	wasDown := make([]bool, nBS)
+	isDown := make([]bool, nBS)
+	for p := 0; p < nPeriods; p++ {
+		for b := 0; b < nBS; b++ {
+			isDown[b] = down(p, cluster.StorageNodeID(b))
+		}
+		// Evacuate newly-crashed BSs before measuring: their segments are
+		// unreachable and must be re-homed on the healthy survivors.
+		for b := 0; b < nBS; b++ {
+			if !isDown[b] || wasDown[b] {
+				continue
+			}
+			failed := cluster.StorageNodeID(b)
+			orphans := placement.SegmentsOn(failed)
+			FailoverExcluding(placement, segTraffic, p, failed, fpol, rng,
+				func(id cluster.StorageNodeID) bool { return isDown[id] })
+			for _, seg := range orphans {
+				to := placement.BSOf(seg)
+				if to == failed {
+					continue // no healthy survivor could take it
+				}
+				res.Migrations = append(res.Migrations, Migration{
+					Period: p, Seg: seg, From: failed, To: to, Failover: true,
+				})
+			}
+		}
+
+		// Measure this period under the current placement.
+		bsW := make([]float64, nBS)
+		bsR := make([]float64, nBS)
+		for seg, rows := range segTraffic {
+			b := placement.BSOf(cluster.SegmentID(seg))
+			bsW[b] += rows[p].W
+			bsR[b] += rows[p].R
+		}
+		res.WriteCoV = append(res.WriteCoV, stats.NormCoV(bsW))
+		res.ReadCoV = append(res.ReadCoV, stats.NormCoV(bsR))
+		for b := 0; b < nBS; b++ {
+			bsHistW[b] = append(bsHistW[b], bsW[b])
+			bsHistR[b] = append(bsHistR[b], bsR[b])
+		}
+
+		res.Migrations = append(res.Migrations,
+			balancePass(placement, segTraffic, p, bsW, bsHistW, policy, cfg, false, isDown)...)
+		if cfg.Mode == WriteThenRead {
+			res.Migrations = append(res.Migrations,
+				balancePass(placement, segTraffic, p, bsR, bsHistR, readPolicy, cfg, true, isDown)...)
+		}
+		copy(wasDown, isDown)
+	}
+	return res
+}
+
 // balancePass runs one Algorithm 1 sweep over the metric in bsLoad (write
-// bytes, or read bytes for the read pass), mutating placement.
+// bytes, or read bytes for the read pass), mutating placement. A non-nil
+// isDown excludes crashed BSs from both sides of every move.
 func balancePass(placement *cluster.SegmentMap, segTraffic [][]RW, period int,
-	bsLoad []float64, bsHist [][]float64, policy ImporterPolicy, cfg Config, readPass bool) []Migration {
+	bsLoad []float64, bsHist [][]float64, policy ImporterPolicy, cfg Config, readPass bool,
+	isDown []bool) []Migration {
 
 	nBS := len(bsLoad)
 	avg := stats.Mean(bsLoad)
@@ -175,6 +280,9 @@ func balancePass(placement *cluster.SegmentMap, segTraffic [][]RW, period int,
 
 	var out []Migration
 	for b := 0; b < nBS; b++ {
+		if isDown != nil && isDown[b] {
+			continue // a crashed BS exports nothing (it was evacuated)
+		}
 		if bsLoad[b] < cfg.ExporterThreshold*avg {
 			continue
 		}
@@ -192,6 +300,9 @@ func balancePass(placement *cluster.SegmentMap, segTraffic [][]RW, period int,
 		}
 		minLoad := math.Inf(1)
 		for ob := 0; ob < nBS; ob++ {
+			if isDown != nil && isDown[ob] {
+				continue // the coldest *healthy* BS is what matters
+			}
 			if ob != b && bsLoad[ob] < minLoad {
 				minLoad = bsLoad[ob]
 			}
@@ -236,6 +347,22 @@ func balancePass(placement *cluster.SegmentMap, segTraffic [][]RW, period int,
 		}
 		if importer < 0 || int(importer) >= nBS || importer == cluster.StorageNodeID(b) {
 			continue
+		}
+		if isDown != nil && isDown[importer] {
+			// The policy nominated a casualty; fall back to the least-loaded
+			// healthy BS so the exporter still sheds its bundle.
+			importer = -1
+			for ob := 0; ob < nBS; ob++ {
+				if ob == b || isDown[ob] {
+					continue
+				}
+				if importer < 0 || bsLoad[ob] < bsLoad[importer] {
+					importer = cluster.StorageNodeID(ob)
+				}
+			}
+			if importer < 0 {
+				continue // no healthy importer exists
+			}
 		}
 		for _, seg := range moving {
 			placement.Move(seg, importer)

@@ -48,6 +48,16 @@ type FailoverResult struct {
 // placement in place. Load is measured as read+write bytes of the period.
 func Failover(placement *cluster.SegmentMap, segTraffic [][]RW, period int,
 	failed cluster.StorageNodeID, policy FailoverPolicy, rng *rand.Rand) FailoverResult {
+	return FailoverExcluding(placement, segTraffic, period, failed, policy, rng, nil)
+}
+
+// FailoverExcluding is Failover with further BlockServers barred from
+// receiving orphans (nil bars none): under a crash schedule, several BSs can
+// be down at once and evacuating one must not land segments on another
+// casualty.
+func FailoverExcluding(placement *cluster.SegmentMap, segTraffic [][]RW, period int,
+	failed cluster.StorageNodeID, policy FailoverPolicy, rng *rand.Rand,
+	excluded func(cluster.StorageNodeID) bool) FailoverResult {
 
 	nBS := placement.NumBS()
 	res := FailoverResult{Policy: policy, Failed: failed}
@@ -70,8 +80,9 @@ func Failover(placement *cluster.SegmentMap, segTraffic [][]RW, period int,
 
 	survivors := make([]cluster.StorageNodeID, 0, nBS-1)
 	for b := 0; b < nBS; b++ {
-		if cluster.StorageNodeID(b) != failed {
-			survivors = append(survivors, cluster.StorageNodeID(b))
+		id := cluster.StorageNodeID(b)
+		if id != failed && (excluded == nil || !excluded(id)) {
+			survivors = append(survivors, id)
 		}
 	}
 	if len(survivors) == 0 {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ebslab/internal/chaos"
 	"ebslab/internal/cluster"
 	"ebslab/internal/diting"
 	"ebslab/internal/invariant"
@@ -23,11 +24,14 @@ func vdIDBase(vd cluster.VDID) uint64 { return (uint64(vd) + 1) << 40 }
 
 // shard is the per-worker simulation state: its own tracer (the tracer is
 // not safe for concurrent use) plus reusable buffers. In check mode each
-// shard also accumulates its throttle-audit findings.
+// shard also accumulates its throttle-audit findings; under chaos it
+// accumulates its fault counters (summed after the pool drains, so the
+// totals are worker-count independent).
 type shard struct {
 	tracer *diting.Tracer
 	demand []throttle.Demand
 	audit  []string
+	chaos  chaos.Stats
 }
 
 // RunContext simulates the fleet's IO for the window across a bounded
@@ -81,12 +85,20 @@ func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, err
 	if opts.Check {
 		emission = invariant.NewEmission(len(top.VDs))
 	}
+	// Expand the fault plan once, before the pool: the schedule is a pure
+	// function of (seed, plan, shape), read-only while workers run.
+	var sched *chaos.Schedule
+	if opts.Chaos != nil {
+		sched = opts.Chaos.Expand(opts.Seed, chaos.Shape{
+			BSs: len(top.StorageNodes), VDs: len(top.VDs), DurSec: opts.DurationSec,
+		})
+	}
 	var (
 		done      atomic.Int64
 		progressM sync.Mutex
 	)
 	err := par.ForEachWorker(ctx, nVDs, workers, func(worker, vdIdx int) error {
-		if err := s.simulateVD(shards[worker], vdIdx, opts, model, wtOf, emission); err != nil {
+		if err := s.simulateVD(shards[worker], vdIdx, opts, model, wtOf, emission, sched); err != nil {
 			return err
 		}
 		if opts.Progress != nil {
@@ -124,6 +136,13 @@ func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, err
 			VM: vm.ID, Node: vm.Node, App: vm.App, VDs: vm.VDs,
 		})
 	}
+	if sched != nil && opts.ChaosStats != nil {
+		st := chaos.Stats{CrashWindows: len(sched.Crashes), StormWindows: len(sched.Storms)}
+		for _, sh := range shards {
+			st.Merge(sh.chaos)
+		}
+		*opts.ChaosStats = st
+	}
 	if opts.Check {
 		rep := invariant.VerifyRun(&invariant.Artifacts{
 			Fleet:            s.fleet,
@@ -135,6 +154,9 @@ func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, err
 		for _, sh := range shards {
 			rep.AddAll("throttle/grants", sh.audit)
 		}
+		if sched != nil {
+			invariant.CheckChaosSchedule(rep, opts.Chaos, opts.Seed, sched)
+		}
 		if err := rep.Err(); err != nil {
 			return nil, fmt.Errorf("ebs: check mode: %w", err)
 		}
@@ -144,13 +166,20 @@ func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, err
 
 // simulateVD replays one virtual disk's window into the shard's tracer:
 // throttle replay for queue delay, event generation, per-stage latency
-// sampling from the disk-derived RNG stream.
-func (s *Sim) simulateVD(sh *shard, vdIdx int, opts Options, model *latency.Model, wtOf map[cluster.QPID]int8, emission *invariant.Emission) error {
+// sampling from the disk-derived RNG stream. Under a chaos schedule, storm
+// windows boost the disk's offered demand (throttle and generator alike)
+// and crash windows tax IOs bound for the dead BlockServer.
+func (s *Sim) simulateVD(sh *shard, vdIdx int, opts Options, model *latency.Model, wtOf map[cluster.QPID]int8, emission *invariant.Emission, sched *chaos.Schedule) error {
 	top := s.fleet.Topology
 	vdID := cluster.VDID(vdIdx)
 	vd := &top.VDs[vdIdx]
 	vm := &top.VMs[vd.VM]
 	node := &top.Nodes[vm.Node]
+
+	var boost func(sec int) float64
+	if sched != nil {
+		boost = sched.VDStormFn(vdIdx)
+	}
 
 	// Per-VD throttle replay over the second-granularity series gives
 	// each second's queue delay.
@@ -158,10 +187,14 @@ func (s *Sim) simulateVD(sh *shard, vdIdx int, opts Options, model *latency.Mode
 	if !opts.DisableThrottle {
 		series := s.fleet.VDSeries(vdID, opts.DurationSec)
 		sh.demand = sh.demand[:0]
-		for _, smp := range series {
+		for t, smp := range series {
+			b := 1.0
+			if boost != nil {
+				b = boost(t)
+			}
 			sh.demand = append(sh.demand, throttle.Demand{
-				ReadBps: smp.ReadBps, WriteBps: smp.WriteBps,
-				ReadIOPS: smp.ReadIOPS, WriteIOPS: smp.WriteIOPS,
+				ReadBps: b * smp.ReadBps, WriteBps: b * smp.WriteBps,
+				ReadIOPS: b * smp.ReadIOPS, WriteIOPS: b * smp.WriteIOPS,
 			})
 		}
 		caps := []throttle.Caps{{Tput: vd.ThroughputCap, IOPS: vd.IOPSCap}}
@@ -184,7 +217,7 @@ func (s *Sim) simulateVD(sh *shard, vdIdx int, opts Options, model *latency.Mode
 	tracer.StartStream(vdIDBase(vdID))
 
 	var genErr error
-	s.fleet.GenEvents(vdID, opts.DurationSec, opts.EventSampleEvery, func(ev workload.Event) {
+	s.fleet.GenEventsBoosted(vdID, opts.DurationSec, opts.EventSampleEvery, boost, func(ev workload.Event) {
 		if genErr != nil {
 			return
 		}
@@ -214,8 +247,19 @@ func (s *Sim) simulateVD(sh *shard, vdIdx int, opts Options, model *latency.Mode
 			Segment: seg,
 		}
 		rec.Latency = model.Sample(rng, ev.Op, ev.Size, latency.NoCache, false)
+		sec := int(ev.TimeUS / 1_000_000)
+		if sched != nil {
+			if sched.BSDownAt(int(sn), sec) {
+				sh.chaos.FaultedIOs++
+				if sched.PenaltyUS > 0 {
+					rec.Latency[trace.StageFrontendNet] += float32(sched.PenaltyUS)
+				}
+			}
+			if boost != nil && boost(sec) != 1 {
+				sh.chaos.StormIOs++
+			}
+		}
 		if queueDelay != nil {
-			sec := int(ev.TimeUS / 1_000_000)
 			if sec < len(queueDelay) && queueDelay[sec] > 0 {
 				rec.Latency[trace.StageComputeNode] += float32(queueDelay[sec] * 1e6)
 			}

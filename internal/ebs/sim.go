@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 
+	"ebslab/internal/chaos"
 	"ebslab/internal/cluster"
 	"ebslab/internal/hypervisor"
 	"ebslab/internal/latency"
@@ -51,6 +52,16 @@ type Options struct {
 	// with an error describing the broken law. Checking costs a constant
 	// factor (~2x) but no extra passes over the fleet.
 	Check bool
+	// Chaos, when non-nil, runs the simulation under a deterministic
+	// fault-injection plan: the plan is expanded once against (Seed, fleet
+	// shape) into a chaos.Schedule, IOs targeting a crashed BlockServer pay
+	// the plan's failover latency penalty, and storming VDs offer boosted
+	// demand. The expansion is seed-derived, so results stay byte-identical
+	// across worker counts; see DESIGN.md, "Fault model".
+	Chaos *chaos.Plan
+	// ChaosStats, when non-nil and Chaos is set, receives the run's merged
+	// fault accounting.
+	ChaosStats *chaos.Stats
 	// Latency overrides the latency model (default latency.Default()).
 	Latency *latency.Model
 	// Seed overrides the base seed of the per-VD latency sampling streams
@@ -95,6 +106,11 @@ func (o Options) Validate() error {
 	} {
 		if f.v < 0 {
 			return fmt.Errorf("ebs: Options.%s is %d, want >= 0", f.name, f.v)
+		}
+	}
+	if o.Chaos != nil {
+		if err := o.Chaos.Validate(); err != nil {
+			return fmt.Errorf("ebs: Options.Chaos: %w", err)
 		}
 	}
 	return nil

@@ -20,7 +20,7 @@ func TestServerSurvivesGarbageFrames(t *testing.T) {
 	if err := c.AddSegment(1, 64); err != nil {
 		t.Fatal(err)
 	}
-	addr := c.conn.RemoteAddr().String()
+	addr := c.RemoteAddr().String()
 
 	// Garbage: random bytes that parse into an absurd request header.
 	evil, err := net.Dial("tcp", addr)
@@ -115,8 +115,8 @@ func TestReadRequestEOFMidPayload(t *testing.T) {
 	}
 }
 
-// TestUnknownOpIsAnError verifies the server rejects unknown ops but keeps
-// the connection alive.
+// TestUnknownOpIsAnError verifies an unknown op is rejected at encode time —
+// before it ever touches the wire — and the connection stays alive.
 func TestUnknownOpIsAnError(t *testing.T) {
 	c, _ := startServer(t)
 	resp, err := c.call(&Request{Op: OpCode(42)})

@@ -26,6 +26,12 @@ const (
 	OpStats
 )
 
+// Valid reports whether o is a defined protocol operation. The codec
+// rejects undefined opcodes on both sides: the client refuses to encode
+// them, and the server refuses to decode them (an unknown opcode makes the
+// frame length ambiguous, so the connection cannot be resynchronized).
+func (o OpCode) Valid() bool { return o >= OpRead && o <= OpStats }
+
 func (o OpCode) String() string {
 	switch o {
 	case OpRead:
@@ -90,12 +96,13 @@ func (r *Response) Err() error {
 var (
 	ErrPayloadTooLarge = errors.New("netblock: payload exceeds protocol limit")
 	ErrShortHeader     = errors.New("netblock: short header")
+	ErrUnknownOp       = errors.New("netblock: unknown opcode")
 )
 
 // WriteRequest encodes req to w.
 func WriteRequest(w io.Writer, req *Request) error {
-	if len(req.Payload) > maxPayload {
-		return ErrPayloadTooLarge
+	if err := req.validate(); err != nil {
+		return err
 	}
 	var hdr [reqHeaderSize]byte
 	binary.LittleEndian.PutUint64(hdr[0:], req.ID)
@@ -108,12 +115,24 @@ func WriteRequest(w io.Writer, req *Request) error {
 	}
 	// The payload length is implied: writes carry Length bytes.
 	if req.Op == OpWrite {
-		if uint32(len(req.Payload)) != req.Length {
-			return fmt.Errorf("netblock: write payload %d != length %d", len(req.Payload), req.Length)
-		}
 		if _, err := w.Write(req.Payload); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// validate rejects a request the codec could not frame, before any bytes
+// hit the wire — so an invalid request never poisons a healthy connection.
+func (req *Request) validate() error {
+	if !req.Op.Valid() {
+		return fmt.Errorf("%w %d", ErrUnknownOp, uint8(req.Op))
+	}
+	if len(req.Payload) > maxPayload || req.Length > maxPayload {
+		return ErrPayloadTooLarge
+	}
+	if req.Op == OpWrite && uint32(len(req.Payload)) != req.Length {
+		return fmt.Errorf("netblock: write payload %d != length %d", len(req.Payload), req.Length)
 	}
 	return nil
 }
@@ -131,16 +150,54 @@ func ReadRequest(r io.Reader) (*Request, error) {
 		Offset:  int64(binary.LittleEndian.Uint64(hdr[13:])),
 		Length:  binary.LittleEndian.Uint32(hdr[21:]),
 	}
+	if !req.Op.Valid() {
+		return nil, fmt.Errorf("%w %d", ErrUnknownOp, uint8(req.Op))
+	}
 	if req.Length > maxPayload {
 		return nil, ErrPayloadTooLarge
 	}
 	if req.Op == OpWrite {
-		req.Payload = make([]byte, req.Length)
-		if _, err := io.ReadFull(r, req.Payload); err != nil {
+		p, err := readPayload(r, req.Length)
+		if err != nil {
 			return nil, err
 		}
+		req.Payload = p
 	}
 	return req, nil
+}
+
+// allocChunk bounds how much payload memory is committed ahead of the bytes
+// actually arriving, so a frame header claiming maxPayload cannot make the
+// decoder allocate 8 MiB for a peer that then sends nothing.
+const allocChunk = 64 << 10
+
+// readPayload reads exactly n payload bytes, growing the buffer chunk by
+// chunk as data arrives. EOF mid-payload reports io.ErrUnexpectedEOF.
+func readPayload(r io.Reader, n uint32) ([]byte, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	first := n
+	if first > allocChunk {
+		first = allocChunk
+	}
+	buf := make([]byte, 0, first)
+	for remaining := int(n); remaining > 0; {
+		chunk := remaining
+		if chunk > allocChunk {
+			chunk = allocChunk
+		}
+		off := len(buf)
+		buf = append(buf, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		remaining -= chunk
+	}
+	return buf, nil
 }
 
 // WriteResponse encodes resp to w.
@@ -177,11 +234,10 @@ func ReadResponse(r io.Reader) (*Response, error) {
 	if n > maxPayload {
 		return nil, ErrPayloadTooLarge
 	}
-	if n > 0 {
-		resp.Payload = make([]byte, n)
-		if _, err := io.ReadFull(r, resp.Payload); err != nil {
-			return nil, err
-		}
+	p, err := readPayload(r, n)
+	if err != nil {
+		return nil, err
 	}
+	resp.Payload = p
 	return resp, nil
 }

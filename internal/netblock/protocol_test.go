@@ -1,0 +1,169 @@
+package netblock
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"runtime"
+	"testing"
+)
+
+// reqFrame assembles a raw request header (plus optional payload bytes) so
+// the decode tests can craft frames the encoder would refuse to produce.
+func reqFrame(id uint64, op OpCode, length uint32, payload []byte) []byte {
+	hdr := make([]byte, reqHeaderSize)
+	binary.LittleEndian.PutUint64(hdr[0:], id)
+	hdr[8] = byte(op)
+	binary.LittleEndian.PutUint32(hdr[21:], length)
+	return append(hdr, payload...)
+}
+
+// respFrame assembles a raw response header plus optional payload bytes.
+func respFrame(id uint64, status uint8, length uint32, payload []byte) []byte {
+	hdr := make([]byte, respHeaderSize)
+	binary.LittleEndian.PutUint64(hdr[0:], id)
+	hdr[8] = status
+	binary.LittleEndian.PutUint32(hdr[9:], length)
+	return append(hdr, payload...)
+}
+
+// TestReadRequestErrors drives ReadRequest through every malformed-frame
+// class: each must surface a typed error — never a panic, never a hang on a
+// finite reader, never an allocation sized by the attacker's header.
+func TestReadRequestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		wire []byte
+		want error // errors.Is target; nil means "any error"
+	}{
+		{"empty stream", nil, io.EOF},
+		{"truncated header", reqFrame(1, OpRead, 0, nil)[:reqHeaderSize-3], io.ErrUnexpectedEOF},
+		{"one header byte", []byte{0x01}, io.ErrUnexpectedEOF},
+		{"zero opcode", reqFrame(1, OpCode(0), 0, nil), ErrUnknownOp},
+		{"unknown opcode", reqFrame(1, OpCode(42), 0, nil), ErrUnknownOp},
+		{"all-ones garbage", bytes.Repeat([]byte{0xFF}, reqHeaderSize), ErrUnknownOp},
+		{"oversized length prefix", reqFrame(1, OpWrite, maxPayload+1, nil), ErrPayloadTooLarge},
+		{"max length prefix", reqFrame(1, OpWrite, ^uint32(0), nil), ErrPayloadTooLarge},
+		{"write header without payload", reqFrame(1, OpWrite, 4096, nil), io.ErrUnexpectedEOF},
+		{"write short payload", reqFrame(1, OpWrite, 64, []byte("ten bytes.")), io.ErrUnexpectedEOF},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := ReadRequest(bytes.NewReader(tc.wire))
+			if err == nil {
+				t.Fatalf("decoded %+v from malformed frame", req)
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("error = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadResponseErrors is the response-side decode table.
+func TestReadResponseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		wire []byte
+		want error
+	}{
+		{"empty stream", nil, io.EOF},
+		{"truncated header", respFrame(1, StatusOK, 0, nil)[:respHeaderSize-2], io.ErrUnexpectedEOF},
+		{"oversized length prefix", respFrame(1, StatusOK, maxPayload+1, nil), ErrPayloadTooLarge},
+		{"max length prefix", respFrame(1, StatusOK, ^uint32(0), nil), ErrPayloadTooLarge},
+		{"payload missing", respFrame(1, StatusOK, 512, nil), io.ErrUnexpectedEOF},
+		{"payload short", respFrame(1, StatusError, 64, []byte("boom")), io.ErrUnexpectedEOF},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := ReadResponse(bytes.NewReader(tc.wire))
+			if err == nil {
+				t.Fatalf("decoded %+v from malformed frame", resp)
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("error = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestWriteRequestValidation checks the encoder refuses unframeable requests
+// before any byte hits the wire, so a bad request cannot desync a healthy
+// connection.
+func TestWriteRequestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+		want error
+	}{
+		{"zero opcode", Request{}, ErrUnknownOp},
+		{"unknown opcode", Request{Op: OpCode(9)}, ErrUnknownOp},
+		{"oversized read length", Request{Op: OpRead, Length: maxPayload + 1}, ErrPayloadTooLarge},
+		{"write length mismatch", Request{Op: OpWrite, Length: 8, Payload: []byte("abc")}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := WriteRequest(&buf, &tc.req)
+			if err == nil {
+				t.Fatal("invalid request encoded")
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("error = %v, want %v", err, tc.want)
+			}
+			if buf.Len() != 0 {
+				t.Fatalf("invalid request leaked %d bytes onto the wire", buf.Len())
+			}
+		})
+	}
+}
+
+// TestDecoderBoundsAllocation pins the chunked-payload defence: a header
+// claiming the full 8 MiB backed by an empty stream must fail after
+// committing at most one chunk, not the attacker's full claim.
+func TestDecoderBoundsAllocation(t *testing.T) {
+	wire := respFrame(1, StatusOK, maxPayload, nil)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := ReadResponse(bytes.NewReader(wire))
+	runtime.ReadMemStats(&after)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("error = %v, want unexpected EOF", err)
+	}
+	if delta := after.TotalAlloc - before.TotalAlloc; delta > 1<<20 {
+		t.Fatalf("decoder committed %d bytes against a header-only stream (chunk is %d)", delta, allocChunk)
+	}
+}
+
+// TestLargePayloadRoundTrip exercises the multi-chunk readPayload path with
+// a payload several chunks long.
+func TestLargePayloadRoundTrip(t *testing.T) {
+	payload := make([]byte, 3*allocChunk+777)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	var buf bytes.Buffer
+	req := &Request{ID: 5, Op: OpWrite, Segment: 2, Length: uint32(len(payload)), Payload: payload}
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatalf("WriteRequest: %v", err)
+	}
+	got, err := ReadRequest(&buf)
+	if err != nil {
+		t.Fatalf("ReadRequest: %v", err)
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Fatal("multi-chunk payload corrupted in round trip")
+	}
+	if err := WriteResponse(&buf, &Response{ID: 5, Payload: payload}); err != nil {
+		t.Fatalf("WriteResponse: %v", err)
+	}
+	gr, err := ReadResponse(&buf)
+	if err != nil {
+		t.Fatalf("ReadResponse: %v", err)
+	}
+	if !bytes.Equal(gr.Payload, payload) {
+		t.Fatal("multi-chunk response payload corrupted in round trip")
+	}
+}

@@ -19,8 +19,9 @@ type Lending struct {
 // applyLending performs one lending action for vd at second t: it raises
 // vd's effective caps by p x AR(t) in each dimension and debits the other
 // (unthrottled) VDs proportionally to their headroom, so the group's summed
-// effective cap is conserved.
-func applyLending(l *Lending, eff, nominal []Caps, demand [][]Demand, t, vd int) {
+// effective cap is conserved. A VD marked down in isDown never lends: its
+// headroom is an artifact of a crash, not spare capacity.
+func applyLending(l *Lending, eff, nominal []Caps, demand [][]Demand, t, vd int, isDown []bool) {
 	var sumCapT, sumCapI, loadT, loadI float64
 	for i, c := range nominal {
 		sumCapT += c.Tput
@@ -37,7 +38,7 @@ func applyLending(l *Lending, eff, nominal []Caps, demand [][]Demand, t, vd int)
 		// Headroom of potential lenders under their current effective caps.
 		var headroom float64
 		for i := range eff {
-			if i == vd {
+			if i == vd || (isDown != nil && isDown[i]) {
 				continue
 			}
 			h := *capOf(i) - demOf(i)
@@ -52,7 +53,7 @@ func applyLending(l *Lending, eff, nominal []Caps, demand [][]Demand, t, vd int)
 			extra = headroom
 		}
 		for i := range eff {
-			if i == vd {
+			if i == vd || (isDown != nil && isDown[i]) {
 				continue
 			}
 			h := *capOf(i) - demOf(i)
@@ -78,7 +79,7 @@ func SimulateWithLending(caps []Caps, demand [][]Demand, lend Lending) Result {
 	if lend.PeriodSec <= 0 {
 		lend.PeriodSec = 60
 	}
-	return simulate(caps, demand, &lend, nil)
+	return simulate(caps, demand, &lend, nil, nil)
 }
 
 // LendingGain compares throttle durations without and with lending:

@@ -93,7 +93,7 @@ type Result struct {
 // drains in later seconds, so a burst's throttle outlasts the burst itself
 // (the latency-spike behaviour Calcspar reported on AWS EBS).
 func Simulate(caps []Caps, demand [][]Demand) Result {
-	return simulate(caps, demand, nil, nil)
+	return simulate(caps, demand, nil, nil, nil)
 }
 
 // SimulateAudited is Simulate with the conservation audit enabled: every
@@ -104,7 +104,7 @@ func Simulate(caps []Caps, demand [][]Demand) Result {
 // means every law held.
 func SimulateAudited(caps []Caps, demand [][]Demand) (Result, []string) {
 	a := &auditLog{}
-	res := simulate(caps, demand, nil, a)
+	res := simulate(caps, demand, nil, nil, a)
 	return res, a.msgs
 }
 
@@ -120,7 +120,27 @@ func SimulateWithLendingAudited(caps []Caps, demand [][]Demand, lend Lending) (R
 		lend.PeriodSec = 60
 	}
 	a := &auditLog{}
-	res := simulate(caps, demand, &lend, a)
+	res := simulate(caps, demand, &lend, nil, a)
+	return res, a.msgs
+}
+
+// SimulateWithLendingOutages replays the group with lending while a crash
+// schedule revokes caps: whenever any VD's down state flips (a crash window
+// opens or closes), every effective cap resets to nominal — outstanding
+// loans are revoked — and the per-period borrow budget is reset; a VD that
+// is currently down can neither borrow nor lend. down(t, vd) reports
+// whether vd is inside a crash window at second t (adapt BS windows via the
+// VD's placement). The grant-budget audit runs and its findings are
+// returned; revocation must never break conservation.
+func SimulateWithLendingOutages(caps []Caps, demand [][]Demand, lend Lending, down func(t, vd int) bool) (Result, []string) {
+	if lend.Rate <= 0 || lend.Rate >= 1 {
+		panic("throttle: lending rate must be in (0,1)")
+	}
+	if lend.PeriodSec <= 0 {
+		lend.PeriodSec = 60
+	}
+	a := &auditLog{}
+	res := simulate(caps, demand, &lend, down, a)
 	return res, a.msgs
 }
 
@@ -189,8 +209,9 @@ func (a *auditLog) checkDelivery(t, vd int, deliveredB, deliveredOps float64, ef
 	}
 }
 
-// simulate optionally applies a lending policy and an audit; both may be nil.
-func simulate(caps []Caps, demand [][]Demand, lend *Lending, audit *auditLog) Result {
+// simulate optionally applies a lending policy, a crash schedule (down
+// state per (second, VD)), and an audit; any of them may be nil.
+func simulate(caps []Caps, demand [][]Demand, lend *Lending, down func(t, vd int) bool, audit *auditLog) Result {
 	n := len(caps)
 	if len(demand) != n {
 		panic("throttle: demand rows must match caps")
@@ -214,6 +235,7 @@ func simulate(caps []Caps, demand [][]Demand, lend *Lending, audit *auditLog) Re
 	// boundaries.
 	eff := append([]Caps(nil), caps...)
 	lentThisPeriod := make([]bool, n)
+	isDown := make([]bool, n)
 
 	var sumCapT, sumCapI float64
 	for _, c := range caps {
@@ -226,6 +248,25 @@ func simulate(caps []Caps, demand [][]Demand, lend *Lending, audit *auditLog) Re
 			copy(eff, caps)
 			for i := range lentThisPeriod {
 				lentThisPeriod[i] = false
+			}
+		}
+		if down != nil {
+			// A crash window opening or closing anywhere in the group revokes
+			// every outstanding loan: effective caps snap back to nominal and
+			// the borrow budget resets. Grants must never outlive the fleet
+			// state they were computed against.
+			flipped := false
+			for vd := 0; vd < n; vd++ {
+				if d := down(t, vd); d != isDown[vd] {
+					isDown[vd] = d
+					flipped = true
+				}
+			}
+			if flipped {
+				copy(eff, caps)
+				for i := range lentThisPeriod {
+					lentThisPeriod[i] = false
+				}
 			}
 		}
 		// Group-level totals for RAR (Equation 1) use nominal caps and the
@@ -243,11 +284,12 @@ func simulate(caps []Caps, demand [][]Demand, lend *Lending, audit *auditLog) Re
 
 			overT := overCap(offerB, eff[vd].Tput)
 			overI := overCap(offerOps, eff[vd].IOPS)
-			if (overT || overI) && lend != nil && !lentThisPeriod[vd] {
+			if (overT || overI) && lend != nil && !lentThisPeriod[vd] && !isDown[vd] {
 				// Appendix B: on the first throttle of this VD in the
 				// period, it borrows p x AR(t) from unthrottled peers.
+				// A crashed VD is unreachable and may not borrow.
 				lentThisPeriod[vd] = true
-				applyLending(lend, eff, caps, demand, t, vd)
+				applyLending(lend, eff, caps, demand, t, vd, isDown)
 				overT = overCap(offerB, eff[vd].Tput)
 				overI = overCap(offerOps, eff[vd].IOPS)
 			}

@@ -35,7 +35,16 @@ const maxEventsPerSec = 1 << 20
 // (HotReadFrac), and cold IOs spread over Zipf-weighted regions of the
 // remaining address space.
 func (f *Fleet) GenEvents(vd cluster.VDID, durSec, sampleEvery int, fn func(Event)) {
-	f.genEvents(vd, durSec, sampleEvery, false, fn)
+	f.genEvents(vd, durSec, sampleEvery, false, nil, fn)
+}
+
+// GenEventsBoosted is GenEvents with a per-second demand multiplier: second
+// t draws its IO counts from boost(t) times the calibrated rates. The fault
+// layer uses it for hot-tenant traffic storms. A nil boost (or one that
+// always returns 1) reproduces GenEvents bit-exactly — the multiplier
+// feeds the same Bernoulli draw, consuming the same RNG stream.
+func (f *Fleet) GenEventsBoosted(vd cluster.VDID, durSec, sampleEvery int, boost func(sec int) float64, fn func(Event)) {
+	f.genEvents(vd, durSec, sampleEvery, false, boost, fn)
 }
 
 // GenAppEvents synthesizes the *application-level* stream of vd: the IOs as
@@ -44,10 +53,10 @@ func (f *Fleet) GenEvents(vd cluster.VDID, durSec, sampleEvery int, fn func(Even
 // Feed this through guestcache.Filter to regenerate an EBS-visible stream
 // from first principles.
 func (f *Fleet) GenAppEvents(vd cluster.VDID, durSec, sampleEvery int, fn func(Event)) {
-	f.genEvents(vd, durSec, sampleEvery, true, fn)
+	f.genEvents(vd, durSec, sampleEvery, true, nil, fn)
 }
 
-func (f *Fleet) genEvents(vd cluster.VDID, durSec, sampleEvery int, appLevel bool, fn func(Event)) {
+func (f *Fleet) genEvents(vd cluster.VDID, durSec, sampleEvery int, appLevel bool, boost func(sec int) float64, fn func(Event)) {
 	if sampleEvery < 1 {
 		sampleEvery = 1
 	}
@@ -71,8 +80,12 @@ func (f *Fleet) genEvents(vd cluster.VDID, durSec, sampleEvery int, appLevel boo
 	var recentN, recentIdx int
 
 	for t, s := range series {
-		rc := countFor(rng, s.ReadIOPS/float64(sampleEvery))
-		wc := countFor(rng, s.WriteIOPS/float64(sampleEvery))
+		b := 1.0
+		if boost != nil {
+			b = boost(t)
+		}
+		rc := countFor(rng, b*s.ReadIOPS/float64(sampleEvery))
+		wc := countFor(rng, b*s.WriteIOPS/float64(sampleEvery))
 		total := rc + wc
 		if total == 0 {
 			continue
