@@ -9,7 +9,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test race vet bench golden golden-diff fuzz-smoke cover chaos-smoke ci
+.PHONY: all build test race vet bench golden golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke ci
 
 all: build
 
@@ -28,9 +28,13 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
-# Engine scaling benchmark: the same simulation at 1, 2, and 4 workers.
+# Engine scaling benchmark (the same simulation at 1, 2, and 4 workers)
+# plus the streaming sketch ingest benchmark, whose flat B/op across an 8x
+# record growth is the O(1)-memory evidence. The JSON stream is captured to
+# BENCH_baseline.json for cross-run comparison (benchstat-compatible via
+# `go tool test2json` consumers).
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkSimWorkers' -benchmem .
+	$(GO) test -run xxx -bench 'BenchmarkSimWorkers|BenchmarkSketchIngest' -benchmem -json . | tee BENCH_baseline.json
 
 # golden-diff fails when any figure/ablation statistic or the engine
 # fingerprint drifts from the fixtures in internal/core/testdata/golden.
@@ -50,6 +54,8 @@ fuzz-smoke:
 	$(GO) test ./internal/trace -fuzz FuzzReadMetricCSV -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -fuzz FuzzReadTraceJSONL -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/predict -fuzz FuzzEvaluatePredictors -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sketch -fuzz FuzzSpaceSavingAddMerge -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sketch -fuzz FuzzLogQuantileMerge -fuzztime $(FUZZTIME)
 
 # Coverage over the fault-injection surface: the chaos layer itself plus
 # every package it reaches into (RPC substrate, engine, balancer, throttle,
@@ -63,4 +69,10 @@ cover:
 chaos-smoke:
 	$(GO) run ./cmd/ebssim -seed 7 -dur 20 -nodes 4 -max-vds 24 -chaos -check
 
-ci: vet race golden-diff fuzz-smoke cover chaos-smoke
+# Exact-vs-streamed accuracy gate: one unthinned run scored both ways; every
+# streamed metric must sit inside its documented error bound (top-K overlap
+# >= 0.9, quantile relative error <= 2%).
+sketch-accuracy-smoke:
+	$(GO) test ./internal/ebs -run 'TestSketchAccuracySmoke' -count=1 -v
+
+ci: vet race golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke

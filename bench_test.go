@@ -12,10 +12,13 @@ import (
 	"sync"
 	"testing"
 
+	"ebslab/internal/cluster"
 	"ebslab/internal/core"
 	"ebslab/internal/ebs"
 	"ebslab/internal/hypervisor"
+	"ebslab/internal/sketch"
 	"ebslab/internal/stats"
+	"ebslab/internal/trace"
 	"ebslab/internal/workload"
 )
 
@@ -469,6 +472,60 @@ func BenchmarkSimWorkers(b *testing.B) {
 				total = len(ds.Trace)
 			}
 			b.ReportMetric(float64(total)/b.Elapsed().Seconds()*float64(b.N), "ios-per-sec")
+		})
+	}
+}
+
+// synthSketchRecords builds a deterministic synthetic record stream for the
+// sketch ingest benchmark: 32 disks with a heavy-tailed size mix spread over
+// a 64-second window.
+func synthSketchRecords(n int) []trace.Record {
+	recs := make([]trace.Record, n)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range recs {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		vd := z % 32
+		recs[i] = trace.Record{
+			VD:      cluster.VDID(vd),
+			Op:      trace.Op(z >> 8 & 1),
+			Size:    int32(4096 << (z >> 16 % 5)),
+			Offset:  int64(z>>24%4096) * 4096,
+			Segment: cluster.SegmentID(vd*8 + z>>40%8),
+			TimeUS:  int64(z>>48%64) * 1_000_000,
+		}
+		recs[i].Latency[trace.StageComputeNode] = float32(50 + z%400)
+	}
+	return recs
+}
+
+// BenchmarkSketchIngest measures the streaming path in isolation: one
+// sketch.Set ingesting a synthetic record stream. With -benchmem, the B/op
+// column is the whole per-iteration footprint (the set is rebuilt each
+// iteration), so it must stay flat as records grow 8x — sketch state is
+// fleet-bounded, not trace-bounded.
+func BenchmarkSketchIngest(b *testing.B) {
+	for _, n := range []int{8192, 65536} {
+		n := n
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			recs := synthSketchRecords(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var ios uint64
+			for i := 0; i < b.N; i++ {
+				set := sketch.NewSet(sketch.Config{DurationSec: 64})
+				for j := range recs {
+					set.Observe(&recs[j])
+				}
+				ios = set.Totals().IOs
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "ios-per-sec")
+			if ios != uint64(n) {
+				b.Fatalf("ingested %d records, want %d", ios, n)
+			}
 		})
 	}
 }

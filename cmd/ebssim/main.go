@@ -14,6 +14,8 @@ import (
 	"ebslab/internal/chaos"
 	"ebslab/internal/cluster"
 	"ebslab/internal/ebs"
+	"ebslab/internal/report"
+	"ebslab/internal/sketch"
 	"ebslab/internal/stats"
 	"ebslab/internal/trace"
 	"ebslab/internal/workload"
@@ -28,6 +30,7 @@ func main() {
 		workers = flag.Int("workers", 0, "simulation workers (0 = one per CPU)")
 		verbose = flag.Bool("progress", false, "print simulation progress")
 		check   = flag.Bool("check", false, "run the invariant suite over the run (conservation laws, throttle audit)")
+		stream  = flag.Bool("stream", false, "fold every IO into O(1)-memory streaming sketches and report online skewness metrics with an exact-vs-sketch accuracy table")
 
 		chaosOn     = flag.Bool("chaos", false, "inject a deterministic fault schedule (see -crashes, -storms, ...)")
 		chaosSeed   = flag.Int64("chaos-seed", 0, "fault schedule seed (0 = follow -seed)")
@@ -62,6 +65,11 @@ func main() {
 		MaxVDs:           *maxVDs,
 		Workers:          *workers,
 		Check:            *check,
+	}
+	var sketchSet *sketch.Set
+	if *stream {
+		sketchSet = sketch.NewSet(sketch.Config{})
+		opts.Stream = sketchSet
 	}
 	var chaosStats chaos.Stats
 	if *chaosOn {
@@ -102,6 +110,10 @@ func main() {
 		fmt.Println(chaosStats)
 	}
 	fmt.Println()
+
+	if *stream {
+		printStream(sketchSet, ds)
+	}
 
 	// Per-stage latency percentiles.
 	fmt.Println("latency by stage (us):")
@@ -166,4 +178,53 @@ func main() {
 		snLoads = append(snLoads, v)
 	}
 	fmt.Printf("\nstorage nodes touched: %d, inter-BS CoV %.2f\n", len(snLoads), stats.NormCoV(snLoads))
+}
+
+// printStream reports the online skewness metrics computed from the merged
+// sketch state and scores them against the exact batch recomputation over
+// the retained dataset.
+func printStream(set *sketch.Set, ds *trace.Dataset) {
+	sk := set.Skewness()
+	fmt.Println("streaming skewness (sketch state only):")
+	rows := [][2]string{
+		{"IOs / bytes", fmt.Sprintf("%d / %.1f MiB", sk.IOs, sk.Bytes/(1<<20))},
+		{"1%-CCR / 10%-CCR (VDs)", fmt.Sprintf("%.3f / %.3f", sk.CCR1, sk.CCR10)},
+		{"NormCoV (VDs)", fmt.Sprintf("%.3f", sk.NormCoV)},
+		{"P2A read / write / total", fmt.Sprintf("%.2f / %.2f / %.2f", sk.P2ARead, sk.P2AWrite, sk.P2ATotal)},
+		{"EWMA Bps / mean RAR", fmt.Sprintf("%.3g / %.3f", sk.EWMABps, sk.MeanRAR)},
+		{"write ratio (W-R)/(W+R)", fmt.Sprintf("%.3f", sk.WrRatio)},
+		{"latency p50 / p99 (us)", fmt.Sprintf("%.0f / %.0f", sk.LatencyP50, sk.LatencyP99)},
+		{"IO size p50 / p99 (B)", fmt.Sprintf("%.0f / %.0f", sk.SizeP50, sk.SizeP99)},
+		{"active blocks / segments", fmt.Sprintf("%.0f / %.0f", sk.ActiveBlocks, sk.ActiveSegments)},
+	}
+	for _, row := range rows {
+		fmt.Printf("  %-26s %s\n", row[0], row[1])
+	}
+	fmt.Println("  hottest VDs (bytes):")
+	for i, e := range sk.HotVDs {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("    VD %4d  %8.1f MiB (+/- %.1f)\n", e.Key,
+			float64(e.Count)/(1<<20), float64(e.Err)/(1<<20))
+	}
+
+	exact := sketch.ExactSkewness(ds, set.Config())
+	fmt.Print(report.AccuracySection("exact batch vs streamed sketch:", []report.AccuracyRow{
+		{Metric: "1%-CCR", Exact: exact.CCR1, Sketch: sk.CCR1, Bound: 1e-6},
+		{Metric: "10%-CCR", Exact: exact.CCR10, Sketch: sk.CCR10, Bound: 1e-6},
+		{Metric: "NormCoV", Exact: exact.NormCoV, Sketch: sk.NormCoV, Bound: 1e-6},
+		{Metric: "P2A total", Exact: exact.P2ATotal, Sketch: sk.P2ATotal, Bound: 1e-6},
+		{Metric: "mean RAR", Exact: exact.MeanRAR, Sketch: sk.MeanRAR, Bound: 1e-6},
+		{Metric: "write ratio", Exact: exact.WrRatio, Sketch: sk.WrRatio, Bound: 1e-6},
+		{Metric: "latency p50", Exact: exact.LatencyP50, Sketch: sk.LatencyP50, Bound: 0.02},
+		{Metric: "latency p99", Exact: exact.LatencyP99, Sketch: sk.LatencyP99, Bound: 0.02},
+		{Metric: "size p50", Exact: exact.SizeP50, Sketch: sk.SizeP50, Bound: 0.02},
+		{Metric: "size p99", Exact: exact.SizeP99, Sketch: sk.SizeP99, Bound: 0.02},
+		{Metric: "active blocks", Exact: exact.ActiveBlocks, Sketch: sk.ActiveBlocks, Bound: 0.10},
+		{Metric: "active segments", Exact: exact.ActiveSegments, Sketch: sk.ActiveSegments, Bound: 0.10},
+	}))
+	fmt.Printf("  hot-VD overlap %.2f, hot-segment overlap %.2f\n\n",
+		sketch.Overlap(exact.HotVDs, sk.HotVDs),
+		sketch.Overlap(exact.HotSegments, sk.HotSegments))
 }

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ebslab/internal/cluster"
+	"ebslab/internal/report"
+	"ebslab/internal/sketch"
+	"ebslab/internal/stats"
+)
+
+// ApproxOptions configures the streaming variant of the skewness analyses.
+// The zero value of every field selects the documented default.
+type ApproxOptions struct {
+	// TopK is the SpaceSaving capacity of the hot-VD ranking (default 128).
+	// The cumulative-contribution estimates read the top ceil(frac*n)
+	// counters, so their relative error is bounded by ceil(frac*n)/TopK.
+	TopK int
+	// Alpha is the relative accuracy of the per-VD traffic quantile sketch
+	// (default 0.01).
+	Alpha float64
+	// HLLPrecision is the active-VD cardinality estimator's register
+	// exponent (default 12).
+	HLLPrecision int
+}
+
+func (o ApproxOptions) withDefaults() ApproxOptions {
+	if o.TopK <= 0 {
+		o.TopK = 128
+	}
+	if !(o.Alpha > 0 && o.Alpha < 0.5) {
+		o.Alpha = 0.01
+	}
+	if o.HLLPrecision < 4 || o.HLLPrecision > 16 {
+		o.HLLPrecision = 12
+	}
+	return o
+}
+
+// ApproxSkewnessResult pairs every streamed skewness estimate with its exact
+// batch-path reference and the estimator's documented error bound.
+type ApproxSkewnessResult struct {
+	VDs  int // virtual disks streamed
+	TopK int
+	Rows []report.AccuracyRow
+	// HotVDOverlap is the fraction of the exact top-(TopK/4) virtual disks
+	// (by total bytes) retained by the TopK-capacity SpaceSaving ranking.
+	// The summary guarantees retention only for keys above the Mass/TopK
+	// eviction floor, so the gate probes well inside that margin rather
+	// than the churny boundary of the full ranking.
+	HotVDOverlap float64
+}
+
+// ApproxSkewness recomputes the study's headline skewness metrics — CCR,
+// normalized CoV, fleet P2A, traffic quantiles, active-VD count — through
+// the streaming sketch layer, retaining only O(TopK + DurationSec + 2^p)
+// state instead of the batch pipeline's per-entity slices, and reports each
+// estimate against the exact value from the shared aggregation pass.
+//
+// CCR reads the top ceil(frac*n) SpaceSaving counters, so its error is
+// bounded by ceil(frac*n)/TopK; CoV comes from exact streaming moments;
+// quantiles inherit the sketch's alpha; the VD count inherits the HLL's
+// 1.04*2^(-p/2) standard error.
+func (s *Study) ApproxSkewness(opt ApproxOptions) ApproxSkewnessResult {
+	opt = opt.withDefaults()
+	t := s.ensureTotals()
+	top := s.Fleet.Topology
+	n := len(top.VDs)
+
+	// Streaming pass: ascending-VD fold into constant-size sketch state.
+	// Per-VD totals are reused from the shared aggregation pass (the stream
+	// would see the identical values); the per-second fleet series is
+	// re-streamed through the rate meter bucket by bucket.
+	hot := sketch.NewSpaceSaving(opt.TopK)
+	quant := sketch.NewLogQuantile(opt.Alpha)
+	active := sketch.NewHLL(opt.HLLPrecision)
+	rate := sketch.NewRateMeter(s.Dur)
+	var cnt, sum, sumsq float64 // exact streaming moments for CoV
+	exactSeries := make([]float64, s.Dur)
+	for vd := 0; vd < n; vd++ {
+		b := t.vdRead[vd] + t.vdWrite[vd]
+		cnt++
+		sum += b
+		sumsq += b * b
+		quant.Add(b, 1)
+		if b > 0 {
+			hot.Add(uint64(vd), uint64(math.Round(b)))
+			active.Add(uint64(vd))
+		}
+		for sec, smp := range s.Fleet.VDSeries(cluster.VDID(vd), s.Dur) {
+			rate.Add(sec, true, uint64(math.Round(smp.ReadBps)))
+			rate.Add(sec, false, uint64(math.Round(smp.WriteBps)))
+			exactSeries[sec] += smp.ReadBps + smp.WriteBps
+		}
+	}
+
+	// Exact references over the same population.
+	perVD := make([]float64, n)
+	for vd := 0; vd < n; vd++ {
+		perVD[vd] = t.vdRead[vd] + t.vdWrite[vd]
+	}
+	exactActive := 0.0
+	for _, b := range perVD {
+		if b > 0 {
+			exactActive++
+		}
+	}
+
+	res := ApproxSkewnessResult{VDs: n, TopK: opt.TopK}
+	res.Rows = []report.AccuracyRow{
+		{Metric: "1%-CCR", Exact: stats.CCR(perVD, 0.01),
+			Sketch: ccrFromSketch(hot, 0.01, n), Bound: ccrBound(0.01, n, opt.TopK)},
+		{Metric: "10%-CCR", Exact: stats.CCR(perVD, 0.10),
+			Sketch: ccrFromSketch(hot, 0.10, n), Bound: ccrBound(0.10, n, opt.TopK)},
+		{Metric: "NormCoV", Exact: stats.NormCoV(perVD),
+			Sketch: normCoVFromMoments(cnt, sum, sumsq), Bound: 1e-9},
+		{Metric: "P2A read", Exact: p2aOfSeries(s.seriesDir(t, dirRead)),
+			Sketch: rate.P2A(true, false), Bound: 1e-4},
+		{Metric: "P2A write", Exact: p2aOfSeries(s.seriesDir(t, dirWrite)),
+			Sketch: rate.P2A(false, true), Bound: 1e-4},
+		{Metric: "P2A total", Exact: stats.P2A(exactSeries),
+			Sketch: rate.P2A(true, true), Bound: 1e-4},
+		{Metric: "VD traffic p50", Exact: stats.Quantile(perVD, 0.5),
+			Sketch: quant.Quantile(0.5), Bound: 2 * opt.Alpha},
+		{Metric: "VD traffic p99", Exact: stats.Quantile(perVD, 0.99),
+			Sketch: quant.Quantile(0.99), Bound: 2 * opt.Alpha},
+		{Metric: "active VDs", Exact: exactActive,
+			Sketch: active.Estimate(), Bound: 0.05},
+	}
+
+	res.HotVDOverlap = sketch.Overlap(exactTopVDs(perVD, opt.TopK/4), hot.Top(opt.TopK))
+	return res
+}
+
+// seriesDir regenerates the fleet-wide per-second series for one direction
+// (the exact P2A reference; the shared pass retains only totals).
+func (s *Study) seriesDir(t *totals, dir direction) []float64 {
+	out := make([]float64, s.Dur)
+	for vd := range s.Fleet.Topology.VDs {
+		for sec, smp := range s.Fleet.VDSeries(cluster.VDID(vd), s.Dur) {
+			if dir == dirRead {
+				out[sec] += smp.ReadBps
+			} else {
+				out[sec] += smp.WriteBps
+			}
+		}
+	}
+	return out
+}
+
+func p2aOfSeries(xs []float64) float64 { return stats.P2A(xs) }
+
+// ccrFromSketch estimates the frac-CCR over n entities from the heavy-hitter
+// summary: the summed counts of the top ceil(frac*n) counters over the total
+// ingested mass.
+func ccrFromSketch(ss *sketch.SpaceSaving, frac float64, n int) float64 {
+	if n == 0 || ss.Mass() == 0 {
+		return math.NaN()
+	}
+	k := int(math.Ceil(frac * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	var topSum uint64
+	for _, e := range ss.Top(k) {
+		topSum += e.Count
+	}
+	return float64(topSum) / float64(ss.Mass())
+}
+
+// ccrBound is the documented relative error bound of ccrFromSketch:
+// ceil(frac*n) counters each overestimated by at most Mass/TopK.
+func ccrBound(frac float64, n, topK int) float64 {
+	k := math.Ceil(frac * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	return k/float64(topK) + 1e-6
+}
+
+// normCoVFromMoments is NormCoV from the exact streaming moments
+// (count, sum, sum of squares) — the O(1)-state form of stats.NormCoV.
+func normCoVFromMoments(n, sum, sumsq float64) float64 {
+	if n < 2 || sum == 0 {
+		return math.NaN()
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return math.Sqrt(variance) / mean / math.Sqrt(n-1)
+}
+
+// exactTopVDs ranks the exact per-VD totals and returns the top k as
+// sketch entries (weight desc, VD asc on ties).
+func exactTopVDs(perVD []float64, k int) []sketch.Entry {
+	idx := make([]int, 0, len(perVD))
+	for vd, b := range perVD {
+		if b > 0 {
+			idx = append(idx, vd)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if perVD[idx[a]] != perVD[idx[b]] {
+			return perVD[idx[a]] > perVD[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]sketch.Entry, k)
+	for i := 0; i < k; i++ {
+		out[i] = sketch.Entry{Key: uint64(idx[i]), Count: uint64(math.Round(perVD[idx[i]]))}
+	}
+	return out
+}
+
+// Render prints the exact-vs-streamed comparison table.
+func (r ApproxSkewnessResult) Render() string {
+	var b strings.Builder
+	b.WriteString(report.AccuracySection(
+		fmt.Sprintf("Streaming skewness accuracy (%d VDs, top-%d summary)", r.VDs, r.TopK),
+		r.Rows))
+	fmt.Fprintf(&b, "  hot-VD ranking overlap vs exact top-%d: %.3f\n", r.TopK/4, r.HotVDOverlap)
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestApproxSkewnessWithinBounds(t *testing.T) {
+	s := study(t)
+	r := s.ApproxSkewness(ApproxOptions{})
+	if r.VDs == 0 || len(r.Rows) == 0 {
+		t.Fatalf("empty result: %+v", r)
+	}
+	for _, row := range r.Rows {
+		if math.IsNaN(row.Exact) {
+			t.Errorf("%s: exact reference is NaN", row.Metric)
+			continue
+		}
+		if !row.OK() {
+			t.Errorf("%s: streamed %.6g vs exact %.6g, rel err %.4g outside bound %.4g",
+				row.Metric, row.Sketch, row.Exact, row.RelErr(), row.Bound)
+		}
+	}
+	if r.HotVDOverlap < 0.9 {
+		t.Errorf("hot-VD overlap %.3f < 0.9", r.HotVDOverlap)
+	}
+}
+
+func TestApproxSkewnessRender(t *testing.T) {
+	s := study(t)
+	out := s.ApproxSkewness(ApproxOptions{TopK: 64}).Render()
+	for _, want := range []string{"Streaming skewness accuracy", "1%-CCR", "P2A total", "hot-VD ranking overlap"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "VIOLATION") {
+		t.Fatalf("render reports a bound violation:\n%s", out)
+	}
+}
+
+func TestNormCoVFromMoments(t *testing.T) {
+	if !math.IsNaN(normCoVFromMoments(1, 5, 25)) {
+		t.Fatal("single sample should be NaN")
+	}
+	if !math.IsNaN(normCoVFromMoments(3, 0, 0)) {
+		t.Fatal("zero mean should be NaN")
+	}
+	// Constant stream: CoV 0.
+	if got := normCoVFromMoments(4, 8, 16); got != 0 {
+		t.Fatalf("constant stream NormCoV = %g", got)
+	}
+}

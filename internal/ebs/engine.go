@@ -12,6 +12,7 @@ import (
 	"ebslab/internal/invariant"
 	"ebslab/internal/latency"
 	"ebslab/internal/par"
+	"ebslab/internal/sketch"
 	"ebslab/internal/throttle"
 	"ebslab/internal/trace"
 	"ebslab/internal/workload"
@@ -32,6 +33,7 @@ type shard struct {
 	demand []throttle.Demand
 	audit  []string
 	chaos  chaos.Stats
+	sketch *sketch.Set // nil unless Options.Stream is set
 }
 
 // RunContext simulates the fleet's IO for the window across a bounded
@@ -74,9 +76,28 @@ func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, err
 	if workers > nVDs && nVDs > 0 {
 		workers = nVDs
 	}
+	// The streaming path derives every shard's sketch configuration from
+	// the destination set, filling the thinning scale and the fleet
+	// throughput-cap sum (the RAR denominator) from the run's shape.
+	var streamCfg sketch.Config
+	if opts.Stream != nil {
+		streamCfg = opts.Stream.Config()
+		streamCfg.Scale = float64(opts.EventSampleEvery)
+		if streamCfg.DurationSec == 0 {
+			streamCfg.DurationSec = opts.DurationSec
+		}
+		if streamCfg.TputCapSum == 0 {
+			for i := 0; i < nVDs; i++ {
+				streamCfg.TputCapSum += top.VDs[i].ThroughputCap
+			}
+		}
+	}
 	shards := make([]*shard, workers)
 	for i := range shards {
 		shards[i] = &shard{tracer: diting.New(opts.TraceSampleEvery)}
+		if opts.Stream != nil {
+			shards[i].sketch = sketch.NewSet(streamCfg)
+		}
 	}
 	// Check mode counts every emitted IO at the source. Shards own disjoint
 	// virtual disks, so per-VD slots have a single writer and the shared
@@ -136,6 +157,18 @@ func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, err
 			VM: vm.ID, Node: vm.Node, App: vm.App, VDs: vm.VDs,
 		})
 	}
+	// Merge the per-shard sketch sets into the caller's destination. Shards
+	// own disjoint virtual disks, so Set.Merge is exactly commutative here
+	// and the merged state is worker-count invariant.
+	var shardTotals []sketch.Totals
+	if opts.Stream != nil {
+		mergedSketch := sketch.NewSet(streamCfg)
+		for _, sh := range shards {
+			shardTotals = append(shardTotals, sh.sketch.Totals())
+			mergedSketch.Merge(sh.sketch)
+		}
+		*opts.Stream = *mergedSketch
+	}
 	if sched != nil && opts.ChaosStats != nil {
 		st := chaos.Stats{CrashWindows: len(sched.Crashes), StormWindows: len(sched.Storms)}
 		for _, sh := range shards {
@@ -156,6 +189,9 @@ func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, err
 		}
 		if sched != nil {
 			invariant.CheckChaosSchedule(rep, opts.Chaos, opts.Seed, sched)
+		}
+		if opts.Stream != nil {
+			invariant.CheckSketchConservation(rep, opts.Stream, shardTotals, emission)
 		}
 		if err := rep.Err(); err != nil {
 			return nil, fmt.Errorf("ebs: check mode: %w", err)
@@ -265,6 +301,11 @@ func (s *Sim) simulateVD(sh *shard, vdIdx int, opts Options, model *latency.Mode
 			}
 		}
 		tracer.Observe(rec)
+		if sh.sketch != nil {
+			// The record is final here (queue delay and fault penalties
+			// applied), so the latency sketch sees what the trace records.
+			sh.sketch.Observe(&rec)
+		}
 	})
 	return genErr
 }

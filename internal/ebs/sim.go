@@ -21,6 +21,7 @@ import (
 	"ebslab/internal/cluster"
 	"ebslab/internal/hypervisor"
 	"ebslab/internal/latency"
+	"ebslab/internal/sketch"
 	"ebslab/internal/trace"
 	"ebslab/internal/workload"
 )
@@ -62,6 +63,17 @@ type Options struct {
 	// ChaosStats, when non-nil and Chaos is set, receives the run's merged
 	// fault accounting.
 	ChaosStats *chaos.Stats
+	// Stream, when non-nil, enables the streaming analytics path (the
+	// -stream mode of cmd/ebssim): every shard folds each completed IO into
+	// its own sketch.Set — SpaceSaving heavy hitters, log-bucket quantile
+	// sketches, HyperLogLog cardinality, per-second rate meters — and the
+	// per-shard sets are merged at the join into *Stream. Create the
+	// destination with sketch.NewSet; the engine fills the set's thinning
+	// scale and throughput-cap sum from the run's shape when left zero.
+	// Sketch state is deterministic and worker-count invariant, and its
+	// memory is independent of the IO count; see DESIGN.md, "Streaming
+	// sketch analytics".
+	Stream *sketch.Set
 	// Latency overrides the latency model (default latency.Default()).
 	Latency *latency.Model
 	// Seed overrides the base seed of the per-VD latency sampling streams

@@ -1,0 +1,135 @@
+package invariant
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ebslab/internal/cluster"
+	"ebslab/internal/sketch"
+	"ebslab/internal/trace"
+)
+
+// sketchShards ingests a tiny record stream split across n per-shard sets
+// (round-robin by VD, mirroring the engine's disjoint-VD dealing) and
+// returns the shards, their totals, and the merged set.
+func sketchShards(n int) ([]*sketch.Set, []sketch.Totals, *sketch.Set) {
+	cfg := sketch.Config{DurationSec: 4, TputCapSum: 1e9}
+	shards := make([]*sketch.Set, n)
+	for i := range shards {
+		shards[i] = sketch.NewSet(cfg)
+	}
+	for i := 0; i < 64; i++ {
+		rec := trace.Record{
+			VD:     cluster.VDID(i % 8),
+			Op:     trace.Op(i % 2),
+			Size:   int32(4096 * (1 + i%4)),
+			Offset: int64(i) * 4096,
+			TimeUS: int64(i%4) * 1_000_000,
+		}
+		rec.Latency[trace.StageComputeNode] = float32(100 + i)
+		shards[(i%8)%n].Observe(&rec)
+	}
+	merged := sketch.NewSet(cfg)
+	var totals []sketch.Totals
+	for _, sh := range shards {
+		totals = append(totals, sh.Totals())
+		merged.Merge(sh)
+	}
+	return shards, totals, merged
+}
+
+func TestCheckSketchConservationClean(t *testing.T) {
+	_, totals, merged := sketchShards(3)
+	em := NewEmission(8)
+	for i := 0; i < 64; i++ {
+		em.Add(cluster.VDID(i%8), trace.Op(i%2), int32(4096*(1+i%4)))
+	}
+	rep := &Report{}
+	CheckSketchConservation(rep, merged, totals, em)
+	if !rep.OK() {
+		t.Fatalf("clean merge flagged: %s", rep)
+	}
+	// Without emission ground truth the per-shard comparison alone must
+	// still pass.
+	rep = &Report{}
+	CheckSketchConservation(rep, merged, totals, nil)
+	if !rep.OK() {
+		t.Fatalf("clean merge flagged without emission: %s", rep)
+	}
+}
+
+func TestCheckSketchConservationDetectsDrop(t *testing.T) {
+	shards, totals, _ := sketchShards(3)
+	// "Lose" a shard at the join: merged totals fall short of the summed
+	// per-shard ingest.
+	merged := sketch.NewSet(shards[0].Config())
+	merged.Merge(shards[0])
+	merged.Merge(shards[1])
+	rep := &Report{}
+	CheckSketchConservation(rep, merged, totals, nil)
+	if rep.OK() {
+		t.Fatal("dropped shard not flagged")
+	}
+	if got := rep.Violations[0].Law; got != "sketch/conservation" {
+		t.Fatalf("law = %q", got)
+	}
+}
+
+func TestCheckSketchConservationDetectsEmissionMismatch(t *testing.T) {
+	_, totals, merged := sketchShards(2)
+	em := NewEmission(8)
+	em.Add(0, trace.OpRead, 4096) // one IO, nowhere near the 64 ingested
+	rep := &Report{}
+	CheckSketchConservation(rep, merged, totals, em)
+	if rep.OK() {
+		t.Fatal("emission mismatch not flagged")
+	}
+	if !strings.Contains(rep.Violations[0].Msg, "workload emitted") {
+		t.Fatalf("unexpected violation: %s", rep)
+	}
+}
+
+func TestCheckSketchDeterminism(t *testing.T) {
+	identical := func(workers int) (*sketch.Set, error) {
+		_, _, merged := sketchShards(workers)
+		return merged, nil
+	}
+	rep := &Report{}
+	CheckSketchDeterminism(rep, identical, 1, 2, 4)
+	if !rep.OK() {
+		t.Fatalf("worker-count-invariant sets flagged: %s", rep)
+	}
+
+	// A run whose sketch state depends on the worker count must be caught.
+	diverging := func(workers int) (*sketch.Set, error) {
+		set := sketch.NewSet(sketch.Config{})
+		rec := trace.Record{VD: 0, Size: int32(4096 * workers), Op: trace.OpWrite}
+		set.Observe(&rec)
+		return set, nil
+	}
+	rep = &Report{}
+	CheckSketchDeterminism(rep, diverging, 1, 2)
+	if rep.OK() {
+		t.Fatal("diverging sketch state not flagged")
+	}
+	if got := rep.Violations[0].Law; got != "determinism/sketch" {
+		t.Fatalf("law = %q", got)
+	}
+
+	// A failing run is a violation, not a panic.
+	rep = &Report{}
+	CheckSketchDeterminism(rep, func(int) (*sketch.Set, error) {
+		return nil, errors.New("boom")
+	}, 1, 2)
+	if rep.OK() {
+		t.Fatal("run error not flagged")
+	}
+
+	// Fewer than two worker counts cannot certify anything.
+	rep = &Report{}
+	CheckSketchDeterminism(rep, identical, 4)
+	if rep.OK() {
+		t.Fatal("single worker count accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AccuracyRow is one exact-vs-sketch metric comparison: the batch-path
+// reference value, the streamed estimate, and the estimator's documented
+// relative error bound.
+type AccuracyRow struct {
+	Metric string
+	Exact  float64
+	Sketch float64
+	// Bound is the documented relative error bound for this estimator
+	// (e.g. 0.02 for a 1%-accuracy quantile sketch gated at 2x).
+	Bound float64
+}
+
+// RelErr is the row's observed relative error |sketch-exact|/|exact|. A zero
+// exact value yields 0 when the sketch agrees and +Inf when it does not.
+func (r AccuracyRow) RelErr() float64 {
+	if r.Exact == 0 {
+		if r.Sketch == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(r.Sketch-r.Exact) / math.Abs(r.Exact)
+}
+
+// OK reports whether the observed error sits inside the documented bound.
+// NaN on either side fails unless both sides are NaN (agreeing "no data").
+func (r AccuracyRow) OK() bool {
+	if math.IsNaN(r.Exact) || math.IsNaN(r.Sketch) {
+		return math.IsNaN(r.Exact) && math.IsNaN(r.Sketch)
+	}
+	return r.RelErr() <= r.Bound
+}
+
+// AccuracySection renders an exact-vs-sketch comparison table: one line per
+// metric with the observed relative error against its bound, then a verdict
+// line counting violations.
+func AccuracySection(title string, rows []AccuracyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(rows) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  %-22s %12s %12s %9s %9s\n",
+		"metric", "exact", "sketch", "rel err", "bound")
+	bad := 0
+	for _, r := range rows {
+		mark := ""
+		if !r.OK() {
+			mark = "  VIOLATION"
+			bad++
+		}
+		fmt.Fprintf(&b, "  %-22s %12.5g %12.5g %8.3f%% %8.3f%%%s\n",
+			r.Metric, r.Exact, r.Sketch, 100*r.RelErr(), 100*r.Bound, mark)
+	}
+	if bad == 0 {
+		fmt.Fprintf(&b, "  all %d metrics within documented error bounds\n", len(rows))
+	} else {
+		fmt.Fprintf(&b, "  %d of %d metrics OUTSIDE documented error bounds\n", bad, len(rows))
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fuzzOps decodes the fuzzer's byte stream into (key, weight) pairs: 5
+// bytes per op, one key byte (keeping collisions likely) and four weight
+// bytes.
+func fuzzOps(data []byte) [][2]uint64 {
+	var ops [][2]uint64
+	for len(data) >= 5 {
+		key := uint64(data[0])
+		w := uint64(binary.LittleEndian.Uint32(data[1:5]))
+		ops = append(ops, [2]uint64{key, w})
+		data = data[5:]
+	}
+	return ops
+}
+
+// FuzzSpaceSavingAddMerge checks the summary's structural invariants under
+// arbitrary weighted streams split at an arbitrary point and merged both
+// ways: capacity respected, mass conserved by Add, counts never below their
+// error terms, and merge commutative.
+func FuzzSpaceSavingAddMerge(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 0, 0, 3, 4, 0, 0, 0}, uint8(4), uint8(1))
+	f.Add([]byte("heavy-hitters-here-we-go!"), uint8(2), uint8(12))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1}, uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, splitRaw uint8) {
+		k := int(kRaw%32) + 1
+		ops := fuzzOps(data)
+		var total uint64
+		whole := NewSpaceSaving(k)
+		for _, op := range ops {
+			whole.Add(op[0], op[1])
+			total += op[1]
+		}
+		if whole.Len() > k {
+			t.Fatalf("len %d exceeds capacity %d", whole.Len(), k)
+		}
+		if whole.Mass() != total {
+			t.Fatalf("mass %d, want total weight %d", whole.Mass(), total)
+		}
+		for _, e := range whole.Entries() {
+			if e.Err > e.Count {
+				t.Fatalf("entry %+v has err > count", e)
+			}
+		}
+
+		split := 0
+		if len(ops) > 0 {
+			split = int(splitRaw) % (len(ops) + 1)
+		}
+		build := func(part [][2]uint64) *SpaceSaving {
+			s := NewSpaceSaving(k)
+			for _, op := range part {
+				s.Add(op[0], op[1])
+			}
+			return s
+		}
+		ab := build(ops[:split])
+		ab.Merge(build(ops[split:]))
+		ba := build(ops[split:])
+		ba.Merge(build(ops[:split]))
+		da, db := newDigest(), newDigest()
+		ab.AppendHash(da)
+		ba.AppendHash(db)
+		if da.sum() != db.sum() {
+			t.Fatal("merge not commutative")
+		}
+		if ab.Len() > k {
+			t.Fatalf("merged len %d exceeds capacity %d", ab.Len(), k)
+		}
+		if ab.Mass() > total {
+			t.Fatalf("merged mass %d exceeds stream weight %d", ab.Mass(), total)
+		}
+	})
+}
+
+// FuzzLogQuantileMerge checks the quantile sketch on arbitrary value
+// streams: merge must be commutative and byte-identical to whole-stream
+// ingest, counts conserve, and quantiles stay inside the ingested range.
+func FuzzLogQuantileMerge(f *testing.F) {
+	f.Add([]byte{10, 0, 200, 3, 7, 9, 0, 0, 255, 1}, uint8(3))
+	f.Add([]byte("quantiles"), uint8(0))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, splitRaw uint8) {
+		// Two bytes per value: mantissa byte and exponent byte (spanning
+		// sub-1 to huge, plus exact zeros).
+		var vals []float64
+		for i := 0; i+1 < len(data); i += 2 {
+			v := float64(data[i]) * math.Pow(2, float64(int(data[i+1])-128))
+			vals = append(vals, v)
+		}
+		whole := NewLogQuantile(0.01)
+		for _, v := range vals {
+			whole.Add(v, 1)
+		}
+		if whole.Count() != uint64(len(vals)) {
+			t.Fatalf("count %d, want %d", whole.Count(), len(vals))
+		}
+		split := 0
+		if len(vals) > 0 {
+			split = int(splitRaw) % (len(vals) + 1)
+		}
+		build := func(part []float64) *LogQuantile {
+			l := NewLogQuantile(0.01)
+			for _, v := range part {
+				l.Add(v, 1)
+			}
+			return l
+		}
+		ab := build(vals[:split])
+		ab.Merge(build(vals[split:]))
+		dw, dm := newDigest(), newDigest()
+		whole.AppendHash(dw)
+		ab.AppendHash(dm)
+		if dw.sum() != dm.sum() {
+			t.Fatal("merged state differs from whole-stream ingest")
+		}
+		if len(vals) == 0 {
+			return
+		}
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		for _, q := range []float64{0, 0.5, 1} {
+			got := whole.Quantile(q)
+			if math.IsNaN(got) {
+				t.Fatalf("q=%g NaN on non-empty sketch", q)
+			}
+			// Bucket midpoints stay within alpha of the range ends; zero
+			// and negative values are reported as exactly 0.
+			if got < 0 || (hi > 0 && got > hi*1.02) {
+				t.Fatalf("q=%g estimate %g outside [0, %g]", q, got, hi*1.02)
+			}
+		}
+	})
+}

@@ -7,9 +7,11 @@ import (
 
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
 // interpolation between order statistics (the "type 7" estimator used by
-// numpy and R). It returns NaN for an empty slice or q outside [0,1].
+// numpy and R). It returns NaN for an empty slice or q outside [0,1],
+// including q = NaN (which a plain range check would let through into an
+// undefined float-to-int conversion).
 func Quantile(xs []float64, q float64) float64 {
-	if len(xs) == 0 || q < 0 || q > 1 {
+	if len(xs) == 0 || !(q >= 0 && q <= 1) {
 		return math.NaN()
 	}
 	sorted := append([]float64(nil), xs...)
@@ -50,7 +52,7 @@ func Quantiles(xs []float64, qs []float64) []float64 {
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	for i, q := range qs {
-		if q < 0 || q > 1 {
+		if !(q >= 0 && q <= 1) { // also catches q = NaN
 			out[i] = math.NaN()
 			continue
 		}

@@ -34,6 +34,44 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+func TestQuantileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64 // NaN means "must be NaN"
+	}{
+		{"empty slice", nil, 0.5, math.NaN()},
+		{"empty slice q=0", []float64{}, 0, math.NaN()},
+		{"single sample q=0", []float64{7}, 0, 7},
+		{"single sample q=0.5", []float64{7}, 0.5, 7},
+		{"single sample q=1", []float64{7}, 1, 7},
+		{"q below range", []float64{1, 2, 3}, -0.01, math.NaN()},
+		{"q above range", []float64{1, 2, 3}, 1.01, math.NaN()},
+		{"q negative infinity", []float64{1, 2, 3}, math.Inf(-1), math.NaN()},
+		{"q positive infinity", []float64{1, 2, 3}, math.Inf(1), math.NaN()},
+		{"q NaN", []float64{1, 2, 3}, math.NaN(), math.NaN()},
+		{"q NaN single sample", []float64{7}, math.NaN(), math.NaN()},
+		{"exact endpoints", []float64{3, 1, 2}, 1, 3},
+	}
+	for _, c := range cases {
+		got := Quantile(c.xs, c.q)
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: Quantile = %v, want NaN", c.name, got)
+			}
+		} else if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("%s: Quantile = %v, want %v", c.name, got, c.want)
+		}
+		// Quantiles must agree with Quantile case by case (shared sort path).
+		batch := Quantiles(c.xs, []float64{c.q})
+		if math.IsNaN(got) != math.IsNaN(batch[0]) ||
+			(!math.IsNaN(got) && !almostEqual(got, batch[0], 1e-12)) {
+			t.Errorf("%s: Quantiles = %v disagrees with Quantile = %v", c.name, batch[0], got)
+		}
+	}
+}
+
 func TestQuantileDoesNotMutate(t *testing.T) {
 	xs := []float64{5, 1, 3}
 	Quantile(xs, 0.5)
