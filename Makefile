@@ -9,7 +9,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test race vet bench golden golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke ci
+.PHONY: all build test race vet bench golden golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke ci
 
 all: build
 
@@ -28,13 +28,15 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
-# Engine scaling benchmark (the same simulation at 1, 2, and 4 workers)
-# plus the streaming sketch ingest benchmark, whose flat B/op across an 8x
-# record growth is the O(1)-memory evidence. The JSON stream is captured to
+# Engine scaling benchmark (the same simulation at 1, 2, and 4 workers),
+# the streaming sketch ingest benchmark, whose flat B/op across an 8x
+# record growth is the O(1)-memory evidence, and the fabric dispatch
+# benchmark (coordinator + two loopback workers through the full
+# join/dispatch/upload/merge cycle). The JSON stream is captured to
 # BENCH_baseline.json for cross-run comparison (benchstat-compatible via
 # `go tool test2json` consumers).
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkSimWorkers|BenchmarkSketchIngest' -benchmem -json . | tee BENCH_baseline.json
+	$(GO) test -run xxx -bench 'BenchmarkSimWorkers|BenchmarkSketchIngest|BenchmarkFabricDispatch' -benchmem -json . | tee BENCH_baseline.json
 
 # golden-diff fails when any figure/ablation statistic or the engine
 # fingerprint drifts from the fixtures in internal/core/testdata/golden.
@@ -56,6 +58,7 @@ fuzz-smoke:
 	$(GO) test ./internal/predict -fuzz FuzzEvaluatePredictors -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sketch -fuzz FuzzSpaceSavingAddMerge -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sketch -fuzz FuzzLogQuantileMerge -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sketch -fuzz FuzzSetCodec -fuzztime $(FUZZTIME)
 
 # Coverage over the fault-injection surface: the chaos layer itself plus
 # every package it reaches into (RPC substrate, engine, balancer, throttle,
@@ -75,4 +78,11 @@ chaos-smoke:
 sketch-accuracy-smoke:
 	$(GO) test ./internal/ebs -run 'TestSketchAccuracySmoke' -count=1 -v
 
-ci: vet race golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke
+# Distributed-fabric gate: a coordinator plus two in-process loopback
+# workers run the fleet in shards over the real netblock wire path, then
+# the binary re-runs the same study single-process and fails unless the
+# merged dataset and sketch fingerprints are byte-identical.
+dist-smoke:
+	$(GO) run ./cmd/ebssim -seed 7 -dur 15 -nodes 4 -max-vds 24 -dist 2 -shards 5 -check -stream
+
+ci: vet race golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke

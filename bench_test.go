@@ -15,7 +15,9 @@ import (
 	"ebslab/internal/cluster"
 	"ebslab/internal/core"
 	"ebslab/internal/ebs"
+	"ebslab/internal/fabric"
 	"ebslab/internal/hypervisor"
+	"ebslab/internal/netblock"
 	"ebslab/internal/sketch"
 	"ebslab/internal/stats"
 	"ebslab/internal/trace"
@@ -528,6 +530,55 @@ func BenchmarkSketchIngest(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkFabricDispatch measures the distributed fabric end to end: each
+// iteration stands up a coordinator and two loopback workers, runs the full
+// join/dispatch/upload/merge cycle, and tears it down. The wire path — the
+// netblock codec and the binary shard-result frames — is the real one; only
+// the sockets are in-process pipes, so the number is dispatch overhead, not
+// kernel networking.
+func BenchmarkFabricDispatch(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	cfg.DCs = 1
+	cfg.NodesPerDC = 6
+	cfg.BSPerDC = 3
+	cfg.BSPerCluster = 3
+	cfg.Users = 8
+	cfg.DurationSec = 10
+	var ios int
+	for i := 0; i < b.N; i++ {
+		co, err := fabric.NewCoordinator(fabric.Config{
+			Fleet:  cfg,
+			Opts:   ebs.Options{DurationSec: 6, TraceSampleEvery: 2, EventSampleEvery: 4, MaxVDs: 16, Workers: 1},
+			Shards: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lb := fabric.NewLoopback()
+		srv := netblock.NewHandlerServer(co)
+		go srv.Serve(lb) //nolint:errcheck — lifecycle ends with Close
+		var wg sync.WaitGroup
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := fabric.RunWorker(context.Background(), fabric.WorkerConfig{Dial: lb.Dial}); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		ds, err := co.Wait(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		wg.Wait()
+		srv.Close()
+		lb.Close()
+		ios = len(ds.Trace)
+	}
+	b.ReportMetric(float64(ios), "ios-per-run")
 }
 
 // BenchmarkSeriesGeneration measures the raw traffic generator.

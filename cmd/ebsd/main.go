@@ -1,0 +1,57 @@
+// Command ebsd is the distributed-simulation worker daemon: it joins a
+// coordinator's fleet (cmd/ebssim -workers-addr), executes the shards it is
+// assigned with the in-process ebs engine, and uploads each shard's partial
+// results. SIGINT/SIGTERM request an orderly drain — the current shard
+// finishes and uploads before the daemon deregisters; a second signal kills
+// it immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ebslab/internal/fabric"
+)
+
+func main() {
+	var (
+		join     = flag.String("join", "", "coordinator address to join (host:port), e.g. the ebssim -workers-addr value")
+		waitPoll = flag.Duration("wait-poll", 25*time.Millisecond, "retry interval when no shard is placeable")
+	)
+	flag.Parse()
+	if *join == "" {
+		fmt.Fprintln(os.Stderr, "ebsd: -join is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	drain := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "ebsd: drain requested; finishing current shard")
+		close(drain)
+		<-sigs
+		fmt.Fprintln(os.Stderr, "ebsd: killed")
+		cancel()
+	}()
+
+	err := fabric.RunWorker(ctx, fabric.WorkerConfig{
+		Dial:     func() (net.Conn, error) { return net.Dial("tcp", *join) },
+		Drain:    drain,
+		WaitPoll: *waitPoll,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ebsd:", err)
+		os.Exit(1)
+	}
+}

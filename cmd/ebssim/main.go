@@ -7,13 +7,19 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"sort"
+	"sync"
+	"time"
 
 	"ebslab/internal/chaos"
 	"ebslab/internal/cluster"
 	"ebslab/internal/ebs"
+	"ebslab/internal/fabric"
+	"ebslab/internal/invariant"
+	"ebslab/internal/netblock"
 	"ebslab/internal/report"
 	"ebslab/internal/sketch"
 	"ebslab/internal/stats"
@@ -32,6 +38,11 @@ func main() {
 		check   = flag.Bool("check", false, "run the invariant suite over the run (conservation laws, throttle audit)")
 		stream  = flag.Bool("stream", false, "fold every IO into O(1)-memory streaming sketches and report online skewness metrics with an exact-vs-sketch accuracy table")
 
+		workersAddr = flag.String("workers-addr", "", "run as fabric coordinator: listen on this address for ebsd/-serve workers and merge their shard results")
+		serveAddr   = flag.String("serve", "", "run as fabric worker: join the coordinator at this address and execute shards (all simulation flags are taken from the coordinator)")
+		dist        = flag.Int("dist", 0, "run the fabric in-process over a loopback transport with this many workers and verify the merged dataset against a single-process run")
+		shards      = flag.Int("shards", 0, "fabric shard count (0 = default)")
+
 		chaosOn     = flag.Bool("chaos", false, "inject a deterministic fault schedule (see -crashes, -storms, ...)")
 		chaosSeed   = flag.Int64("chaos-seed", 0, "fault schedule seed (0 = follow -seed)")
 		crashes     = flag.Int("crashes", 2, "BlockServer crash-and-recover windows to schedule")
@@ -41,6 +52,11 @@ func main() {
 		stormFactor = flag.Float64("storm-factor", 8, "demand multiplier inside a storm window")
 	)
 	flag.Parse()
+
+	if *serveAddr != "" {
+		runWorkerRole(*serveAddr)
+		return
+	}
 
 	cfg := workload.DefaultConfig()
 	cfg.Seed = *seed
@@ -91,7 +107,15 @@ func main() {
 			}
 		}
 	}
-	ds, err := ebs.New(fleet).RunContext(ctx, opts)
+	var ds *trace.Dataset
+	switch {
+	case *dist > 0:
+		ds, err = runDistVerified(ctx, cfg, opts, *dist, *shards)
+	case *workersAddr != "":
+		ds, err = runCoordinator(ctx, cfg, opts, *workersAddr, *shards)
+	default:
+		ds, err = ebs.New(fleet).RunContext(ctx, opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ebssim:", err)
 		os.Exit(1)
@@ -227,4 +251,125 @@ func printStream(set *sketch.Set, ds *trace.Dataset) {
 	fmt.Printf("  hot-VD overlap %.2f, hot-segment overlap %.2f\n\n",
 		sketch.Overlap(exact.HotVDs, sk.HotVDs),
 		sketch.Overlap(exact.HotSegments, sk.HotSegments))
+}
+
+// runWorkerRole turns this process into a fabric worker: every simulation
+// parameter comes from the coordinator's JoinFleet reply, so one coordinator
+// drives a homogeneous fleet no matter how each worker was started.
+// SIGINT requests an orderly drain (finish and upload the current shard).
+func runWorkerRole(addr string) {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt)
+	drain := make(chan struct{})
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "ebssim: drain requested; finishing current shard")
+		close(drain)
+	}()
+	err := fabric.RunWorker(context.Background(), fabric.WorkerConfig{
+		Dial:  func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		Drain: drain,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ebssim:", err)
+		os.Exit(1)
+	}
+}
+
+// serveFabric mounts a coordinator on l and waits for the merged dataset.
+// After the run completes it keeps serving briefly so every worker can
+// observe AssignDone and deregister before the listener goes away.
+func serveFabric(ctx context.Context, co *fabric.Coordinator, l net.Listener) (*trace.Dataset, error) {
+	srv := netblock.NewHandlerServer(co)
+	go srv.Serve(l) //nolint:errcheck — lifecycle ends with Close
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "ebssim: coordinator dispatching %d shards\n", len(co.Plan()))
+	ds, err := co.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	drainDeadline := time.Now().Add(5 * time.Second)
+	for co.Workers() > 0 && time.Now().Before(drainDeadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	return ds, nil
+}
+
+// runCoordinator listens on addr for worker daemons and merges their shard
+// results into the run's dataset.
+func runCoordinator(ctx context.Context, cfg workload.Config, opts ebs.Options, addr string, shards int) (*trace.Dataset, error) {
+	co, err := fabric.NewCoordinator(fabric.Config{Fleet: cfg, Opts: opts, Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	fmt.Fprintf(os.Stderr, "ebssim: waiting for workers on %s (ebsd -join %s)\n", l.Addr(), l.Addr())
+	return serveFabric(ctx, co, l)
+}
+
+// runDistVerified runs the whole fabric in-process: a coordinator over a
+// loopback transport plus n workers, then re-runs the simulation
+// single-process and fails unless the two dataset fingerprints are
+// identical — the distributed determinism oracle behind `make dist-smoke`.
+func runDistVerified(ctx context.Context, cfg workload.Config, opts ebs.Options, n, shards int) (*trace.Dataset, error) {
+	distOpts := opts
+	var distStream *sketch.Set
+	if opts.Stream != nil {
+		distStream = sketch.NewSet(opts.Stream.Config())
+		distOpts.Stream = distStream
+	}
+	var distChaos chaos.Stats
+	if opts.ChaosStats != nil {
+		distOpts.ChaosStats = &distChaos
+	}
+	distOpts.Progress = nil
+	co, err := fabric.NewCoordinator(fabric.Config{Fleet: cfg, Opts: distOpts, Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	lb := fabric.NewLoopback()
+	defer lb.Close()
+	var wg sync.WaitGroup
+	workerErrs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			workerErrs[i] = fabric.RunWorker(ctx, fabric.WorkerConfig{Dial: lb.Dial})
+		}(i)
+	}
+	ds, err := serveFabric(ctx, co, lb)
+	if err != nil {
+		return nil, err
+	}
+	wg.Wait()
+	for i, werr := range workerErrs {
+		if werr != nil {
+			return nil, fmt.Errorf("fabric worker %d: %w", i, werr)
+		}
+	}
+
+	fleet, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := ebs.New(fleet).RunContext(ctx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("single-process reference run: %w", err)
+	}
+	distFP, refFP := invariant.Fingerprint(ds), invariant.Fingerprint(ref)
+	fmt.Printf("dist fingerprint   %s (%d workers, %d shards)\n", distFP, n, len(co.Plan()))
+	fmt.Printf("single fingerprint %s\n", refFP)
+	if distFP != refFP {
+		return nil, fmt.Errorf("distributed run diverged from single-process run")
+	}
+	if opts.Stream != nil && distStream.Fingerprint() != opts.Stream.Fingerprint() {
+		return nil, fmt.Errorf("distributed sketch state diverged from single-process run")
+	}
+	fmt.Println("distributed == single-process: byte-identical")
+	return ds, nil
 }

@@ -1,0 +1,64 @@
+package cluster
+
+import "fmt"
+
+// ShardRange is a half-open range [Lo, Hi) of virtual-disk indices — the
+// unit of work the distributed simulation fabric dispatches. Shards are
+// VD-disjoint by construction: every VD index belongs to exactly one shard,
+// which is what makes shard results mergeable into a byte-identical dataset
+// regardless of which worker (or how many) executed them.
+type ShardRange struct {
+	Lo, Hi int
+}
+
+// Len returns the number of VDs in the shard.
+func (r ShardRange) Len() int { return r.Hi - r.Lo }
+
+func (r ShardRange) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// PlanShards partitions nVDs virtual disks into at most nShards contiguous,
+// disjoint, covering ranges whose sizes differ by at most one (the first
+// nVDs%nShards shards absorb the remainder). The plan is a pure function of
+// its arguments, so the coordinator and any auditor derive the same plan
+// without communication. Fewer than nShards ranges are returned when there
+// are fewer VDs than shards; nShards < 1 is clamped to 1.
+func PlanShards(nVDs, nShards int) []ShardRange {
+	if nVDs <= 0 {
+		return nil
+	}
+	if nShards < 1 {
+		nShards = 1
+	}
+	if nShards > nVDs {
+		nShards = nVDs
+	}
+	base := nVDs / nShards
+	extra := nVDs % nShards
+	out := make([]ShardRange, 0, nShards)
+	lo := 0
+	for i := 0; i < nShards; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		out = append(out, ShardRange{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return out
+}
+
+// PickShard is the fabric's shard-to-worker placement policy: given the
+// pending shard IDs (ascending) it returns the first shard the asking
+// worker has not already attempted, or -1 when nothing is placeable on that
+// worker. Lowest-ID-first keeps placement deterministic for a fixed request
+// order, and the attempted filter ensures a speculative re-dispatch of a
+// straggling shard lands on a *different* worker than the one sitting on
+// it — re-running it in the same place would race the same slow execution.
+func PickShard(pending []int, attempted func(shard int) bool) int {
+	for _, s := range pending {
+		if attempted == nil || !attempted(s) {
+			return s
+		}
+	}
+	return -1
+}

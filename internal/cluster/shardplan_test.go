@@ -1,0 +1,74 @@
+package cluster
+
+import "testing"
+
+// TestPlanShards pins the plan's three invariants — disjoint, covering,
+// balanced — across shapes including remainders, more shards than VDs, and
+// degenerate inputs.
+func TestPlanShards(t *testing.T) {
+	cases := []struct {
+		nVDs, nShards int
+		wantShards    int
+	}{
+		{10, 2, 2},
+		{10, 3, 3},
+		{7, 7, 7},
+		{3, 8, 3}, // clamp: never an empty shard
+		{5, 0, 1}, // nShards < 1 clamps to 1
+		{1, 1, 1},
+		{120, 16, 16},
+	}
+	for _, tc := range cases {
+		plan := PlanShards(tc.nVDs, tc.nShards)
+		if len(plan) != tc.wantShards {
+			t.Fatalf("PlanShards(%d, %d) = %d shards, want %d", tc.nVDs, tc.nShards, len(plan), tc.wantShards)
+		}
+		next := 0
+		minLen, maxLen := tc.nVDs, 0
+		for _, r := range plan {
+			if r.Lo != next {
+				t.Fatalf("PlanShards(%d, %d): shard %v not contiguous with previous end %d", tc.nVDs, tc.nShards, r, next)
+			}
+			if r.Len() <= 0 {
+				t.Fatalf("PlanShards(%d, %d): empty shard %v", tc.nVDs, tc.nShards, r)
+			}
+			if r.Len() < minLen {
+				minLen = r.Len()
+			}
+			if r.Len() > maxLen {
+				maxLen = r.Len()
+			}
+			next = r.Hi
+		}
+		if next != tc.nVDs {
+			t.Fatalf("PlanShards(%d, %d): plan covers [0,%d)", tc.nVDs, tc.nShards, next)
+		}
+		if maxLen-minLen > 1 {
+			t.Fatalf("PlanShards(%d, %d): imbalance %d..%d", tc.nVDs, tc.nShards, minLen, maxLen)
+		}
+	}
+	if got := PlanShards(0, 4); got != nil {
+		t.Fatalf("PlanShards(0, 4) = %v, want nil", got)
+	}
+}
+
+// TestPickShard pins the placement policy: lowest pending ID first, and a
+// worker never receives a shard it already attempted (speculation must move
+// to a different worker).
+func TestPickShard(t *testing.T) {
+	pending := []int{3, 5, 9}
+	if got := PickShard(pending, nil); got != 3 {
+		t.Fatalf("PickShard no filter = %d, want 3", got)
+	}
+	attempted := map[int]bool{3: true}
+	if got := PickShard(pending, func(s int) bool { return attempted[s] }); got != 5 {
+		t.Fatalf("PickShard skipping attempted = %d, want 5", got)
+	}
+	all := func(int) bool { return true }
+	if got := PickShard(pending, all); got != -1 {
+		t.Fatalf("PickShard all attempted = %d, want -1", got)
+	}
+	if got := PickShard(nil, nil); got != -1 {
+		t.Fatalf("PickShard empty = %d, want -1", got)
+	}
+}

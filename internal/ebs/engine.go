@@ -76,21 +76,9 @@ func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, err
 	if workers > nVDs && nVDs > 0 {
 		workers = nVDs
 	}
-	// The streaming path derives every shard's sketch configuration from
-	// the destination set, filling the thinning scale and the fleet
-	// throughput-cap sum (the RAR denominator) from the run's shape.
 	var streamCfg sketch.Config
 	if opts.Stream != nil {
-		streamCfg = opts.Stream.Config()
-		streamCfg.Scale = float64(opts.EventSampleEvery)
-		if streamCfg.DurationSec == 0 {
-			streamCfg.DurationSec = opts.DurationSec
-		}
-		if streamCfg.TputCapSum == 0 {
-			for i := 0; i < nVDs; i++ {
-				streamCfg.TputCapSum += top.VDs[i].ThroughputCap
-			}
-		}
+		streamCfg = s.streamConfigFor(opts, nVDs)
 	}
 	shards := make([]*shard, workers)
 	for i := range shards {
@@ -135,28 +123,7 @@ func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, err
 	}
 
 	merged := diting.Merge(opts.TraceSampleEvery, tracersOf(shards)...)
-	ds := &trace.Dataset{
-		Topology:    top,
-		Seg2BS:      s.fleet.Seg2BS,
-		DurationSec: opts.DurationSec,
-		Trace:       merged.Records(),
-		Compute:     scaleRows(merged.ComputeRows(), float64(opts.EventSampleEvery)),
-		Storage:     scaleRows(merged.StorageRows(), float64(opts.EventSampleEvery)),
-	}
-	for i := range top.VDs {
-		vd := &top.VDs[i]
-		ds.VDSpecs = append(ds.VDSpecs, trace.VDSpec{
-			VD: vd.ID, Capacity: vd.Capacity,
-			ThroughputCap: vd.ThroughputCap, IOPSCap: vd.IOPSCap,
-			NumQPs: len(vd.QPs),
-		})
-	}
-	for i := range top.VMs {
-		vm := &top.VMs[i]
-		ds.VMSpecs = append(ds.VMSpecs, trace.VMSpec{
-			VM: vm.ID, Node: vm.Node, App: vm.App, VDs: vm.VDs,
-		})
-	}
+	ds := s.assembleDataset(opts, merged)
 	// Merge the per-shard sketch sets into the caller's destination. Shards
 	// own disjoint virtual disks, so Set.Merge is exactly commutative here
 	// and the merged state is worker-count invariant.

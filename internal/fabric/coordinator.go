@@ -1,0 +1,426 @@
+// Package fabric is the distributed simulation control plane: a coordinator
+// partitions the synthetic fleet into VD-disjoint shards, dispatches them to
+// worker processes over the netblock protocol's fabric ops (JoinFleet,
+// AssignShard, ShardResult, Heartbeat, Drain), and deterministically merges
+// the shard partials into a dataset byte-identical to a single-process run —
+// for any worker count, and across worker crashes, stragglers, and duplicate
+// results. See DESIGN.md, "Distributed execution".
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"ebslab/internal/cluster"
+	"ebslab/internal/ebs"
+	"ebslab/internal/invariant"
+	"ebslab/internal/netblock"
+	"ebslab/internal/trace"
+	"ebslab/internal/workload"
+)
+
+// Config describes one distributed run.
+type Config struct {
+	// Fleet is the generation recipe, shipped to every worker.
+	Fleet workload.Config
+	// Opts are the run options. Coordinator-side destinations (Stream,
+	// ChaosStats) are honored: the merged run fills them exactly like
+	// ebs.RunContext would. Progress and Latency do not cross the wire.
+	Opts ebs.Options
+	// Shards is how many shards to plan (0 = 4; more shards than workers
+	// keeps the fleet busy when shard runtimes are uneven).
+	Shards int
+	// HeartbeatEvery is the beat interval workers are told to use
+	// (default 500ms).
+	HeartbeatEvery time.Duration
+	// LivenessTimeout declares a silent worker dead and requeues its shards
+	// (default 4 * HeartbeatEvery).
+	LivenessTimeout time.Duration
+	// SpeculateAfter re-dispatches a still-running shard to an idle worker
+	// once the shard has been out that long (default 30s; straggler
+	// mitigation). At-most-once accounting keeps duplicate results safe.
+	SpeculateAfter time.Duration
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if c.LivenessTimeout <= 0 {
+		c.LivenessTimeout = 4 * c.HeartbeatEvery
+	}
+	if c.SpeculateAfter <= 0 {
+		c.SpeculateAfter = 30 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Shard dispatch states.
+const (
+	shardPending = iota
+	shardRunning
+	shardDone
+)
+
+// shardState tracks one planned shard through dispatch, execution, and
+// result accounting.
+type shardState struct {
+	r     cluster.ShardRange
+	state int
+	// attempted records every worker the shard was ever dispatched to, so
+	// re-dispatch (speculation or requeue) lands on a different worker.
+	attempted map[uint64]bool
+	// running is the subset of attempted workers believed alive and still
+	// executing the shard.
+	running map[uint64]bool
+	// firstDispatch anchors straggler detection.
+	firstDispatch time.Time
+	lastDispatch  time.Time
+	partial       *ebs.ShardPartial
+
+	dispatched, returned, accepted int
+}
+
+// workerState is the coordinator's view of one joined worker.
+type workerState struct {
+	id       uint64
+	lastBeat time.Time
+}
+
+// Coordinator runs the control plane. It implements netblock.Handler: mount
+// it on a netblock.Server (NewHandlerServer) over any listener — TCP for
+// real deployments, Loopback for in-process fabrics.
+type Coordinator struct {
+	cfg   Config
+	sim   *ebs.Sim
+	fleet *workload.Fleet
+	spec  RunSpec
+	plan  []cluster.ShardRange
+
+	mu        sync.Mutex
+	shards    []*shardState
+	workers   map[uint64]*workerState
+	nextID    uint64
+	remaining int
+
+	allDone   chan struct{}
+	mergeOnce sync.Once
+	result    *trace.Dataset
+	mergeErr  error
+}
+
+// NewCoordinator generates the fleet, plans the shards, and returns a
+// coordinator ready to be served.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Opts.Validate(); err != nil {
+		return nil, err
+	}
+	fleet, err := workload.Generate(cfg.Fleet)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: generate fleet: %w", err)
+	}
+	nVDs := len(fleet.Topology.VDs)
+	if cfg.Opts.MaxVDs > 0 && cfg.Opts.MaxVDs < nVDs {
+		nVDs = cfg.Opts.MaxVDs
+	}
+	plan := cluster.PlanShards(nVDs, cfg.Shards)
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("fabric: nothing to plan (%d VDs)", nVDs)
+	}
+	co := &Coordinator{
+		cfg:       cfg,
+		sim:       ebs.New(fleet),
+		fleet:     fleet,
+		spec:      specOf(cfg.Opts),
+		plan:      plan,
+		workers:   make(map[uint64]*workerState),
+		remaining: len(plan),
+		allDone:   make(chan struct{}),
+	}
+	for _, r := range plan {
+		co.shards = append(co.shards, &shardState{
+			r:         r,
+			attempted: make(map[uint64]bool),
+			running:   make(map[uint64]bool),
+		})
+	}
+	return co, nil
+}
+
+// Plan exposes the shard plan (for reporting).
+func (co *Coordinator) Plan() []cluster.ShardRange { return co.plan }
+
+// Handle implements netblock.Handler for the five fabric ops.
+func (co *Coordinator) Handle(req *netblock.Request) *netblock.Response {
+	resp := &netblock.Response{ID: req.ID, Status: netblock.StatusOK}
+	fail := func(err error) *netblock.Response {
+		resp.Status = netblock.StatusError
+		resp.Payload = []byte(err.Error())
+		return resp
+	}
+	switch req.Op {
+	case netblock.OpJoinFleet:
+		resp.Payload = mustJSON(co.join())
+	case netblock.OpAssignShard:
+		var m workerMsg
+		if err := fromJSON(req.Payload, &m); err != nil {
+			return fail(err)
+		}
+		resp.Payload = mustJSON(co.assign(m.WorkerID))
+	case netblock.OpShardResult:
+		rep, err := co.acceptResult(req.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Payload = mustJSON(rep)
+	case netblock.OpHeartbeat:
+		var m workerMsg
+		if err := fromJSON(req.Payload, &m); err != nil {
+			return fail(err)
+		}
+		co.heartbeat(m.WorkerID)
+		resp.Payload = mustJSON(resultReply{Done: co.Done()})
+	case netblock.OpDrain:
+		var m workerMsg
+		if err := fromJSON(req.Payload, &m); err != nil {
+			return fail(err)
+		}
+		co.drain(m.WorkerID)
+	default:
+		return fail(fmt.Errorf("fabric: op %s is not a control-plane request", req.Op))
+	}
+	return resp
+}
+
+// join registers a new worker and hands it the run description.
+func (co *Coordinator) join() JoinReply {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.nextID++
+	id := co.nextID
+	co.workers[id] = &workerState{id: id, lastBeat: co.cfg.now()}
+	return JoinReply{
+		WorkerID:    id,
+		Fleet:       co.cfg.Fleet,
+		Spec:        co.spec,
+		Shards:      len(co.plan),
+		HeartbeatMS: co.cfg.HeartbeatEvery.Milliseconds(),
+	}
+}
+
+// assign places a shard on the asking worker: first a pending shard the
+// worker has not attempted, then — when nothing is pending but shards are
+// still out — a speculative copy of the slowest straggling shard.
+func (co *Coordinator) assign(workerID uint64) AssignReply {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	now := co.cfg.now()
+	co.touchLocked(workerID, now)
+	co.reapLocked(now)
+
+	if co.remaining == 0 {
+		return AssignReply{Status: AssignDone}
+	}
+	var pending []int
+	for i, sh := range co.shards {
+		if sh.state == shardPending {
+			pending = append(pending, i)
+		}
+	}
+	pick := cluster.PickShard(pending, func(s int) bool { return co.shards[s].attempted[workerID] })
+	if pick < 0 {
+		pick = co.straggler(workerID, now)
+	}
+	if pick < 0 {
+		return AssignReply{Status: AssignWait}
+	}
+	sh := co.shards[pick]
+	sh.state = shardRunning
+	sh.attempted[workerID] = true
+	sh.running[workerID] = true
+	sh.dispatched++
+	if sh.firstDispatch.IsZero() {
+		sh.firstDispatch = now
+	}
+	sh.lastDispatch = now
+	return AssignReply{Status: AssignShard, Shard: pick, Lo: sh.r.Lo, Hi: sh.r.Hi}
+}
+
+// straggler picks the running shard that has been out the longest, if it
+// crossed the speculation threshold and this worker never attempted it.
+// Called with co.mu held.
+func (co *Coordinator) straggler(workerID uint64, now time.Time) int {
+	best := -1
+	for i, sh := range co.shards {
+		if sh.state != shardRunning || sh.attempted[workerID] {
+			continue
+		}
+		if now.Sub(sh.lastDispatch) < co.cfg.SpeculateAfter {
+			continue
+		}
+		if best < 0 || sh.firstDispatch.Before(co.shards[best].firstDispatch) {
+			best = i
+		}
+	}
+	return best
+}
+
+// result_ accounts one returned shard result. The first result per shard
+// wins; later copies (from speculation or requeue races) are acknowledged
+// but dropped, so every shard contributes to the merge at most once.
+func (co *Coordinator) acceptResult(frame []byte) (resultReply, error) {
+	workerID, shardID, p, err := decodeResult(frame)
+	if err != nil {
+		return resultReply{}, err
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if shardID < 0 || shardID >= len(co.shards) {
+		return resultReply{}, fmt.Errorf("fabric: result for unknown shard %d", shardID)
+	}
+	now := co.cfg.now()
+	co.touchLocked(workerID, now)
+	sh := co.shards[shardID]
+	if p.Lo != sh.r.Lo || p.Hi != sh.r.Hi {
+		return resultReply{}, fmt.Errorf("fabric: shard %d result covers [%d,%d), plan says %v",
+			shardID, p.Lo, p.Hi, sh.r)
+	}
+	sh.returned++
+	delete(sh.running, workerID)
+	if sh.state == shardDone {
+		return resultReply{Accepted: false, Done: co.remaining == 0}, nil
+	}
+	sh.state = shardDone
+	sh.partial = p
+	sh.accepted++
+	co.remaining--
+	if co.remaining == 0 {
+		close(co.allDone)
+	}
+	return resultReply{Accepted: true, Done: co.remaining == 0}, nil
+}
+
+// heartbeat refreshes a worker's liveness and sweeps for dead peers.
+func (co *Coordinator) heartbeat(workerID uint64) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	now := co.cfg.now()
+	co.touchLocked(workerID, now)
+	co.reapLocked(now)
+}
+
+// drain deregisters a worker that announced an orderly exit. Shards it was
+// still listed on go back to pending (an orderly worker finishes its shard
+// before draining, so normally there are none).
+func (co *Coordinator) drain(workerID uint64) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	delete(co.workers, workerID)
+	co.requeueLocked(workerID)
+}
+
+func (co *Coordinator) touchLocked(workerID uint64, now time.Time) {
+	if w := co.workers[workerID]; w != nil {
+		w.lastBeat = now
+	}
+}
+
+// reapLocked declares workers silent past the liveness timeout dead and
+// requeues their shards. Liveness is evaluated on control-plane traffic
+// (every assign and heartbeat), so a fleet with any live worker converges
+// without a background timer.
+func (co *Coordinator) reapLocked(now time.Time) {
+	for id, w := range co.workers {
+		if now.Sub(w.lastBeat) > co.cfg.LivenessTimeout {
+			delete(co.workers, id)
+			co.requeueLocked(id)
+		}
+	}
+}
+
+// requeueLocked removes the worker from every running shard; shards left
+// with no live executor return to pending (the worker stays in attempted, so
+// the retry lands elsewhere when possible).
+func (co *Coordinator) requeueLocked(workerID uint64) {
+	for _, sh := range co.shards {
+		if sh.state != shardRunning || !sh.running[workerID] {
+			continue
+		}
+		delete(sh.running, workerID)
+		if len(sh.running) == 0 {
+			sh.state = shardPending
+		}
+	}
+}
+
+// Done reports whether every shard has an accepted result.
+func (co *Coordinator) Done() bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.remaining == 0
+}
+
+// Workers returns how many workers are currently registered.
+func (co *Coordinator) Workers() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return len(co.workers)
+}
+
+// Ledger snapshots the dispatch/result accounting for the cross-process
+// conservation law.
+func (co *Coordinator) Ledger() *invariant.ShardLedger {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	l := &invariant.ShardLedger{
+		Dispatched: make([]int, len(co.shards)),
+		Returned:   make([]int, len(co.shards)),
+		Accepted:   make([]int, len(co.shards)),
+	}
+	for i, sh := range co.shards {
+		l.Dispatched[i] = sh.dispatched
+		l.Returned[i] = sh.returned
+		l.Accepted[i] = sh.accepted
+	}
+	return l
+}
+
+// Wait blocks until every shard is accounted for (or ctx ends), then merges
+// the partials — verifying the fabric accounting law first — and returns the
+// final dataset. The merge runs once; concurrent and repeated Waits share
+// its result.
+func (co *Coordinator) Wait(ctx context.Context) (*trace.Dataset, error) {
+	select {
+	case <-co.allDone:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	co.mergeOnce.Do(func() {
+		var rep invariant.Report
+		invariant.CheckFabricAccounting(&rep, co.Ledger())
+		if err := rep.Err(); err != nil {
+			co.mergeErr = fmt.Errorf("fabric: %w", err)
+			return
+		}
+		co.mu.Lock()
+		parts := make([]*ebs.ShardPartial, 0, len(co.shards))
+		for _, sh := range co.shards {
+			parts = append(parts, sh.partial)
+		}
+		co.mu.Unlock()
+		co.result, co.mergeErr = co.sim.MergeShards(co.cfg.Opts, parts)
+	})
+	return co.result, co.mergeErr
+}

@@ -1,0 +1,59 @@
+package fabric
+
+import (
+	"net"
+	"sync"
+)
+
+// Loopback is an in-process net.Listener whose connections are net.Pipe
+// pairs: the fabric runs coordinator and workers through the real netblock
+// codec and server without sockets, so tests and the -dist smoke mode
+// exercise the exact wire path of a TCP deployment.
+type Loopback struct {
+	ch        chan net.Conn
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// NewLoopback returns a listening loopback.
+func NewLoopback() *Loopback {
+	return &Loopback{ch: make(chan net.Conn), closed: make(chan struct{})}
+}
+
+// Dial opens a new connection to the listener; it blocks until the server
+// accepts (or the listener closes).
+func (l *Loopback) Dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.closed:
+		client.Close()
+		server.Close()
+		return nil, net.ErrClosed
+	}
+}
+
+// Accept implements net.Listener.
+func (l *Loopback) Accept() (net.Conn, error) {
+	select {
+	case conn := <-l.ch:
+		return conn, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener.
+func (l *Loopback) Close() error {
+	l.closeOnce.Do(func() { close(l.closed) })
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *Loopback) Addr() net.Addr { return loopbackAddr{} }
+
+type loopbackAddr struct{}
+
+func (loopbackAddr) Network() string { return "loopback" }
+func (loopbackAddr) String() string  { return "loopback" }

@@ -1,0 +1,146 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"ebslab/internal/ebs"
+	"ebslab/internal/netblock"
+	"ebslab/internal/workload"
+)
+
+// WorkerConfig describes one worker process.
+type WorkerConfig struct {
+	// Dial opens the control-plane connection to the coordinator.
+	Dial func() (net.Conn, error)
+	// Drain, when non-nil, asks the worker for an orderly exit: it finishes
+	// (and uploads) the shard it is executing, deregisters with the
+	// coordinator, and returns nil.
+	Drain <-chan struct{}
+	// WaitPoll is the retry interval when the coordinator has nothing
+	// placeable for this worker (default 25ms).
+	WaitPoll time.Duration
+	// FaultHook, when non-nil, is consulted after each shard's simulation
+	// and before its result upload. Returning an error makes the worker die
+	// on the spot — no upload, no drain — which is how tests and chaos
+	// drills stage a mid-shard worker crash.
+	FaultHook func(shard int) error
+}
+
+// RunWorker joins the coordinator's fleet, executes shards until the run
+// completes (or ctx ends / Drain fires), and deregisters. The worker
+// regenerates the fleet from the coordinator's recipe, so its shard results
+// are bit-identical to the coordinator simulating the same VDs itself.
+func RunWorker(ctx context.Context, wc WorkerConfig) error {
+	if wc.WaitPoll <= 0 {
+		wc.WaitPoll = 25 * time.Millisecond
+	}
+	conn, err := wc.Dial()
+	if err != nil {
+		return fmt.Errorf("fabric: worker dial: %w", err)
+	}
+	cl := netblock.NewClient(conn)
+	defer cl.Close()
+
+	raw, err := cl.Call(netblock.OpJoinFleet, nil)
+	if err != nil {
+		return fmt.Errorf("fabric: join: %w", err)
+	}
+	var join JoinReply
+	if err := fromJSON(raw, &join); err != nil {
+		return err
+	}
+	fleet, err := workload.Generate(join.Fleet)
+	if err != nil {
+		return fmt.Errorf("fabric: worker fleet: %w", err)
+	}
+	sim := ebs.New(fleet)
+	opts := join.Spec.options()
+	me := mustJSON(workerMsg{WorkerID: join.WorkerID})
+
+	// Heartbeats ride their own goroutine so a long shard simulation cannot
+	// starve liveness; the pipelining client multiplexes both safely.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go func() {
+		every := time.Duration(join.HeartbeatMS) * time.Millisecond
+		if every <= 0 {
+			every = 500 * time.Millisecond
+		}
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-tick.C:
+				cl.Call(netblock.OpHeartbeat, me) //nolint:errcheck — liveness is best-effort
+			}
+		}
+	}()
+
+	drainNow := func() error {
+		if _, err := cl.Call(netblock.OpDrain, me); err != nil {
+			return fmt.Errorf("fabric: drain: %w", err)
+		}
+		return nil
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-wc.Drain:
+			return drainNow()
+		default:
+		}
+		raw, err := cl.Call(netblock.OpAssignShard, me)
+		if err != nil {
+			return fmt.Errorf("fabric: assign: %w", err)
+		}
+		var a AssignReply
+		if err := fromJSON(raw, &a); err != nil {
+			return err
+		}
+		switch a.Status {
+		case AssignDone:
+			return drainNow()
+		case AssignWait:
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-wc.Drain:
+				return drainNow()
+			case <-time.After(wc.WaitPoll):
+			}
+		case AssignShard:
+			p, err := sim.RunShard(ctx, opts, a.Lo, a.Hi)
+			if err != nil {
+				return fmt.Errorf("fabric: shard %d: %w", a.Shard, err)
+			}
+			if wc.FaultHook != nil {
+				if err := wc.FaultHook(a.Shard); err != nil {
+					return err // simulated crash: vanish without uploading
+				}
+			}
+			frame := encodeResult(join.WorkerID, a.Shard, p)
+			if len(frame) > netblock.MaxShardResultPayload {
+				return fmt.Errorf("fabric: shard %d result is %d bytes, over the %d-byte wire cap: rerun with more shards (fewer VDs per shard)",
+					a.Shard, len(frame), netblock.MaxShardResultPayload)
+			}
+			if _, err := cl.Call(netblock.OpShardResult, frame); err != nil {
+				return fmt.Errorf("fabric: upload shard %d: %w", a.Shard, err)
+			}
+			// An orderly drain completes the current shard first — which just
+			// happened — so honor it before asking for more work.
+			select {
+			case <-wc.Drain:
+				return drainNow()
+			default:
+			}
+		default:
+			return fmt.Errorf("%w: assign status %q", ErrWire, a.Status)
+		}
+	}
+}

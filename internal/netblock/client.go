@@ -318,6 +318,18 @@ func (c *Client) backoff(id uint64, attempt int) time.Duration {
 	return time.Duration(float64(d) * frac)
 }
 
+// Call performs one generic RPC: an opaque payload under the given op,
+// answered by the peer handler's opaque response payload. The fabric
+// control plane (JoinFleet, AssignShard, ShardResult, Heartbeat, Drain)
+// rides on this; the typed block-IO methods below remain the data plane.
+func (c *Client) Call(op OpCode, payload []byte) ([]byte, error) {
+	resp, err := c.call(&Request{Op: op, Length: uint32(len(payload)), Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Payload, nil
+}
+
 // AddSegment creates a segment of sizeBlocks 4 KiB blocks on the server.
 func (c *Client) AddSegment(seg storage.SegKey, sizeBlocks int) error {
 	_, err := c.call(&Request{Op: OpAddSegment, Segment: int32(seg), Length: uint32(sizeBlocks)})

@@ -17,20 +17,48 @@ import (
 // OpCode identifies a request type.
 type OpCode uint8
 
-// Protocol operations.
+// Protocol operations. The first five are the block-IO data plane; the
+// fabric ops are the distributed-simulation control plane (JoinFleet,
+// AssignShard, ShardResult, Heartbeat, Drain) whose payloads are opaque to
+// this layer — internal/fabric defines their message bodies.
 const (
 	OpRead OpCode = iota + 1
 	OpWrite
 	OpAddSegment
 	OpHasSegment
 	OpStats
+	OpJoinFleet
+	OpAssignShard
+	OpShardResult
+	OpHeartbeat
+	OpDrain
 )
 
 // Valid reports whether o is a defined protocol operation. The codec
 // rejects undefined opcodes on both sides: the client refuses to encode
 // them, and the server refuses to decode them (an unknown opcode makes the
 // frame length ambiguous, so the connection cannot be resynchronized).
-func (o OpCode) Valid() bool { return o >= OpRead && o <= OpStats }
+func (o OpCode) Valid() bool { return o >= OpRead && o <= OpDrain }
+
+// carriesPayload reports whether a request of this op carries Length bytes
+// of payload after its header. Block reads describe their payload size but
+// the bytes only travel in the response; fabric ops always carry their
+// (possibly empty) message body with the request.
+func (o OpCode) carriesPayload() bool {
+	return o == OpWrite || o >= OpJoinFleet
+}
+
+// maxPayloadFor bounds one request payload by op. Block-IO frames never
+// exceed a few MiB of block data; a ShardResult legitimately carries an
+// entire shard's trace records and metric rows, so it gets a larger — but
+// still hard — cap. Decoding commits memory chunk-by-chunk as bytes arrive
+// (see readPayload), so a hostile header cannot allocate the cap up front.
+func (o OpCode) maxPayloadFor() uint32 {
+	if o == OpShardResult {
+		return maxShardPayload
+	}
+	return maxPayload
+}
 
 func (o OpCode) String() string {
 	switch o {
@@ -44,6 +72,16 @@ func (o OpCode) String() string {
 		return "has-segment"
 	case OpStats:
 		return "stats"
+	case OpJoinFleet:
+		return "join-fleet"
+	case OpAssignShard:
+		return "assign-shard"
+	case OpShardResult:
+		return "shard-result"
+	case OpHeartbeat:
+		return "heartbeat"
+	case OpDrain:
+		return "drain"
 	}
 	return fmt.Sprintf("OpCode(%d)", uint8(o))
 }
@@ -55,8 +93,18 @@ const (
 )
 
 // maxPayload bounds a single request/response payload (one protocol
-// message never exceeds a few MiB of block data).
-const maxPayload = 8 << 20
+// message never exceeds a few MiB of block data); maxShardPayload is the
+// larger request-side cap for OpShardResult frames, which carry a whole
+// shard's encoded partial results.
+const (
+	maxPayload      = 8 << 20
+	maxShardPayload = 1 << 30
+)
+
+// MaxShardResultPayload is the wire cap on one OpShardResult frame,
+// exported so senders can pre-check an encoded shard and report an
+// actionable error (fewer VDs per shard) instead of a bare codec failure.
+const MaxShardResultPayload = maxShardPayload
 
 // header layout (little endian):
 //
@@ -113,8 +161,8 @@ func WriteRequest(w io.Writer, req *Request) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	// The payload length is implied: writes carry Length bytes.
-	if req.Op == OpWrite {
+	// The payload length is implied: payload-carrying ops carry Length bytes.
+	if req.Op.carriesPayload() {
 		if _, err := w.Write(req.Payload); err != nil {
 			return err
 		}
@@ -128,11 +176,12 @@ func (req *Request) validate() error {
 	if !req.Op.Valid() {
 		return fmt.Errorf("%w %d", ErrUnknownOp, uint8(req.Op))
 	}
-	if len(req.Payload) > maxPayload || req.Length > maxPayload {
+	max := req.Op.maxPayloadFor()
+	if uint64(len(req.Payload)) > uint64(max) || req.Length > max {
 		return ErrPayloadTooLarge
 	}
-	if req.Op == OpWrite && uint32(len(req.Payload)) != req.Length {
-		return fmt.Errorf("netblock: write payload %d != length %d", len(req.Payload), req.Length)
+	if req.Op.carriesPayload() && uint32(len(req.Payload)) != req.Length {
+		return fmt.Errorf("netblock: %s payload %d != length %d", req.Op, len(req.Payload), req.Length)
 	}
 	return nil
 }
@@ -153,10 +202,10 @@ func ReadRequest(r io.Reader) (*Request, error) {
 	if !req.Op.Valid() {
 		return nil, fmt.Errorf("%w %d", ErrUnknownOp, uint8(req.Op))
 	}
-	if req.Length > maxPayload {
+	if req.Length > req.Op.maxPayloadFor() {
 		return nil, ErrPayloadTooLarge
 	}
-	if req.Op == OpWrite {
+	if req.Op.carriesPayload() {
 		p, err := readPayload(r, req.Length)
 		if err != nil {
 			return nil, err

@@ -98,7 +98,7 @@ func TestWriteRequestValidation(t *testing.T) {
 		want error
 	}{
 		{"zero opcode", Request{}, ErrUnknownOp},
-		{"unknown opcode", Request{Op: OpCode(9)}, ErrUnknownOp},
+		{"unknown opcode", Request{Op: OpCode(99)}, ErrUnknownOp},
 		{"oversized read length", Request{Op: OpRead, Length: maxPayload + 1}, ErrPayloadTooLarge},
 		{"write length mismatch", Request{Op: OpWrite, Length: 8, Payload: []byte("abc")}, nil},
 	}

@@ -13,20 +13,27 @@ import (
 	"ebslab/internal/storage"
 )
 
-// Server exposes one storage.BlockServer over a net.Listener. Each
-// connection gets a reader goroutine; requests are executed under a mutex
-// (the BlockServer is single-writer) and responses may be written out of
-// order thanks to request IDs, so slow reads do not head-of-line-block
-// writes from other connections.
-type Server struct {
-	bs *storage.BlockServer
+// Handler executes one decoded request and produces its response. The
+// server calls handlers from one goroutine per connection, so a handler
+// shared across connections must be safe for concurrent use. Two handlers
+// exist today: the BlockServer data plane (NewServer) and the fabric
+// coordinator control plane (internal/fabric).
+type Handler interface {
+	Handle(req *Request) *Response
+}
 
-	mu       sync.Mutex // serializes BlockServer access
+// Server exposes one Handler over a net.Listener. Each connection gets a
+// reader goroutine; responses may be written out of order thanks to request
+// IDs, so slow requests do not head-of-line-block other connections.
+type Server struct {
+	h Handler
+
 	wg       sync.WaitGroup
 	listener net.Listener
 
-	connMu sync.Mutex
-	conns  map[net.Conn]struct{}
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+	shutdown bool // set under connMu; new conns are refused once true
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -36,9 +43,8 @@ type Server struct {
 
 	faults atomic.Int64
 
-	// Stats (atomic under mu for simplicity).
-	requests  int64
-	errorsOut int64
+	requests  atomic.Int64
+	errorsOut atomic.Int64
 }
 
 // Fault is a server-side injected failure mode.
@@ -110,15 +116,28 @@ func (s *Server) faultHook() FaultHook {
 // included).
 func (s *Server) FaultsInjected() int64 { return s.faults.Load() }
 
-// NewServer wraps a BlockServer.
+// NewServer wraps a BlockServer in the block-IO data-plane handler.
 func NewServer(bs *storage.BlockServer) *Server {
-	return &Server{bs: bs, closed: make(chan struct{}), conns: make(map[net.Conn]struct{})}
+	return NewHandlerServer(&blockHandler{bs: bs})
+}
+
+// NewHandlerServer serves an arbitrary Handler (the fabric control plane
+// mounts its coordinator this way).
+func NewHandlerServer(h Handler) *Server {
+	return &Server{h: h, closed: make(chan struct{}), conns: make(map[net.Conn]struct{})}
 }
 
 // Serve accepts connections until the listener is closed. It returns the
 // listener's final error (net.ErrClosed after Close).
 func (s *Server) Serve(l net.Listener) error {
+	s.connMu.Lock()
+	if s.shutdown {
+		s.connMu.Unlock()
+		l.Close()
+		return nil
+	}
 	s.listener = l
+	s.connMu.Unlock()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -129,10 +148,21 @@ func (s *Server) Serve(l net.Listener) error {
 				return err
 			}
 		}
+		// Registration and the WaitGroup increment happen atomically with
+		// the shutdown check: a connection accepted while Close is running
+		// either lands in conns before Close sweeps them (and is closed and
+		// awaited there), or observes shutdown here and is refused. Without
+		// this, a conn accepted concurrently with Close was never closed and
+		// its handler goroutine leaked past Close's wait.
 		s.connMu.Lock()
+		if s.shutdown {
+			s.connMu.Unlock()
+			conn.Close()
+			continue // the listener's own Close ends the accept loop
+		}
 		s.conns[conn] = struct{}{}
-		s.connMu.Unlock()
 		s.wg.Add(1)
+		s.connMu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			s.serveConn(conn)
@@ -148,10 +178,11 @@ func (s *Server) Serve(l net.Listener) error {
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		close(s.closed)
+		s.connMu.Lock()
+		s.shutdown = true
 		if s.listener != nil {
 			s.listener.Close()
 		}
-		s.connMu.Lock()
 		for conn := range s.conns {
 			conn.Close()
 		}
@@ -161,11 +192,7 @@ func (s *Server) Close() {
 }
 
 // Requests returns how many requests the server has executed.
-func (s *Server) Requests() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.requests
-}
+func (s *Server) Requests() int64 { return s.requests.Load() }
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
@@ -222,14 +249,29 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// execute runs one request against the BlockServer.
+// execute counts and dispatches one request to the handler.
 func (s *Server) execute(req *Request) *Response {
+	s.requests.Add(1)
+	resp := s.h.Handle(req)
+	if resp.Status != StatusOK {
+		s.errorsOut.Add(1)
+	}
+	return resp
+}
+
+// blockHandler is the block-IO data plane: requests are executed under a
+// mutex (the BlockServer is single-writer).
+type blockHandler struct {
+	mu sync.Mutex
+	bs *storage.BlockServer
+}
+
+// Handle runs one request against the BlockServer.
+func (s *blockHandler) Handle(req *Request) *Response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.requests++
 	resp := &Response{ID: req.ID, Status: StatusOK}
 	fail := func(err error) *Response {
-		s.errorsOut++
 		resp.Status = StatusError
 		resp.Payload = []byte(err.Error())
 		return resp

@@ -1,9 +1,13 @@
 package sketch
 
 import (
+	"bytes"
 	"encoding/binary"
 	"math"
 	"testing"
+
+	"ebslab/internal/cluster"
+	"ebslab/internal/trace"
 )
 
 // fuzzOps decodes the fuzzer's byte stream into (key, weight) pairs: 5
@@ -139,4 +143,51 @@ func FuzzLogQuantileMerge(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzSetCodec drives DecodeSet over arbitrary bytes: it must never panic
+// or over-allocate, and whenever it accepts a frame, the decoded set must
+// re-encode canonically (byte-identical) and fingerprint stably — the
+// property the fabric's shard-result path depends on.
+func FuzzSetCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("SKS1 but not really"))
+	f.Add(NewSet(Config{}).EncodeBinary())
+	populated := NewSet(Config{TopK: 4, SegPerVD: 2, DurationSec: 4})
+	for i := 0; i < 64; i++ {
+		rec := fuzzRecord(i)
+		populated.Observe(&rec)
+	}
+	f.Add(populated.EncodeBinary())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSet(data)
+		if err != nil {
+			return
+		}
+		wire := s.EncodeBinary()
+		s2, err := DecodeSet(wire)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding failed: %v", err)
+		}
+		if s2.Fingerprint() != s.Fingerprint() {
+			t.Fatal("fingerprint unstable across re-encode")
+		}
+		if !bytes.Equal(s2.EncodeBinary(), wire) {
+			t.Fatal("encoding not canonical")
+		}
+	})
+}
+
+// fuzzRecord synthesizes record i of a small deterministic stream.
+func fuzzRecord(i int) trace.Record {
+	rec := trace.Record{
+		TimeUS:  int64(i%4) * 1_000_000,
+		Op:      trace.Op(i % 2),
+		Size:    int32(4096 * (1 + i%8)),
+		Offset:  int64(i) * 4096,
+		VD:      cluster.VDID(i % 5),
+		Segment: cluster.SegmentID(i % 9),
+	}
+	rec.Latency[0] = float32(100 + i)
+	return rec
 }

@@ -21,8 +21,8 @@ type LogQuantile struct {
 	alpha       float64
 	gamma       float64
 	invLogGamma float64
-	zero        uint64            // weight of values <= 0
-	buckets     map[int64]uint64  // bucket index -> weight
+	zero        uint64           // weight of values <= 0
+	buckets     map[int64]uint64 // bucket index -> weight
 	total       uint64
 }
 
