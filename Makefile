@@ -9,7 +9,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test race vet bench golden golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke ci
+.PHONY: all build test race vet bench bench-gate golden golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke ci
 
 all: build
 
@@ -37,6 +37,16 @@ race:
 # `go tool test2json` consumers).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkSimWorkers|BenchmarkSketchIngest|BenchmarkFabricDispatch' -benchmem -json . | tee BENCH_baseline.json
+
+# Performance regression gate: reruns the gated benchmarks and fails when
+# any loses more than 10% ios-per-sec or grows allocs/op by more than 10%
+# against BENCH_baseline.json. After an intentional performance change,
+# promote the fresh numbers with `make bench-gate UPDATE_BASELINE=1` and
+# commit the updated baseline.
+bench-gate:
+	$(GO) test -run xxx -bench 'BenchmarkSimWorkers|BenchmarkSketchIngest|BenchmarkFabricDispatch' -benchmem -json . > BENCH_current.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -current BENCH_current.json $(if $(UPDATE_BASELINE),-update-baseline)
+	@rm -f BENCH_current.json
 
 # golden-diff fails when any figure/ablation statistic or the engine
 # fingerprint drifts from the fixtures in internal/core/testdata/golden.
@@ -85,4 +95,4 @@ sketch-accuracy-smoke:
 dist-smoke:
 	$(GO) run ./cmd/ebssim -seed 7 -dur 15 -nodes 4 -max-vds 24 -dist 2 -shards 5 -check -stream
 
-ci: vet race golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke
+ci: vet race golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke bench-gate

@@ -443,13 +443,13 @@ func BenchmarkEndToEnd(b *testing.B) {
 	var total int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ds, err := sim.Run(ebs.Options{DurationSec: 10, TraceSampleEvery: 1, EventSampleEvery: 16, MaxVDs: 40})
+		ds, err := sim.Run(context.Background(), ebs.Options{DurationSec: 10, TraceSampleEvery: 1, EventSampleEvery: 16, MaxVDs: 40})
 		if err != nil {
 			b.Fatal(err)
 		}
-		total = len(ds.Trace)
+		total += len(ds.Trace)
 	}
-	b.ReportMetric(float64(total), "ios-per-run")
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "ios-per-sec")
 }
 
 // BenchmarkSimWorkers measures the sharded engine's scaling: the same
@@ -464,7 +464,7 @@ func BenchmarkSimWorkers(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			var total int
 			for i := 0; i < b.N; i++ {
-				ds, err := sim.RunContext(context.Background(), ebs.Options{
+				ds, err := sim.Run(context.Background(), ebs.Options{
 					DurationSec: 10, TraceSampleEvery: 1, EventSampleEvery: 16,
 					MaxVDs: 40, Workers: workers,
 				})
@@ -576,9 +576,9 @@ func BenchmarkFabricDispatch(b *testing.B) {
 		wg.Wait()
 		srv.Close()
 		lb.Close()
-		ios = len(ds.Trace)
+		ios += len(ds.Trace)
 	}
-	b.ReportMetric(float64(ios), "ios-per-run")
+	b.ReportMetric(float64(ios)/b.Elapsed().Seconds(), "ios-per-sec")
 }
 
 // BenchmarkSeriesGeneration measures the raw traffic generator.

@@ -114,7 +114,7 @@ func main() {
 	case *workersAddr != "":
 		ds, err = runCoordinator(ctx, cfg, opts, *workersAddr, *shards)
 	default:
-		ds, err = ebs.New(fleet).RunContext(ctx, opts)
+		ds, err = ebs.New(fleet).Run(ctx, opts)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ebssim:", err)
@@ -357,7 +357,7 @@ func runDistVerified(ctx context.Context, cfg workload.Config, opts ebs.Options,
 	if err != nil {
 		return nil, err
 	}
-	ref, err := ebs.New(fleet).RunContext(ctx, opts)
+	ref, err := ebs.New(fleet).Run(ctx, opts)
 	if err != nil {
 		return nil, fmt.Errorf("single-process reference run: %w", err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,7 +41,7 @@ func main() {
 		fatal("generate fleet: %v", err)
 	}
 	sim := ebs.New(fleet)
-	ds, err := sim.Run(ebs.Options{
+	ds, err := sim.Run(context.Background(), ebs.Options{
 		DurationSec:      *dur,
 		TraceSampleEvery: *sample,
 		EventSampleEvery: *evSample,

@@ -45,7 +45,7 @@ func main() {
 	// 3. End-to-end IO: simulate 30 seconds across all CPUs and look at
 	// latency. The worker count never changes the result, only the
 	// wall-clock time.
-	ds, err := ebs.New(fleet).RunContext(context.Background(), ebs.Options{
+	ds, err := ebs.New(fleet).Run(context.Background(), ebs.Options{
 		DurationSec: 30, TraceSampleEvery: 1, EventSampleEvery: 8, MaxVDs: 30,
 		Workers: 0, // one worker per CPU
 	})

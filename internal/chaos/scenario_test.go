@@ -75,7 +75,7 @@ func runScenario(t testing.TB, f *workload.Fleet, plan *chaos.Plan, workers int)
 	var st chaos.Stats
 	opts.Chaos = plan
 	opts.ChaosStats = &st
-	ds, err := ebs.New(f).RunContext(context.Background(), opts)
+	ds, err := ebs.New(f).Run(context.Background(), opts)
 	if err != nil {
 		t.Fatalf("chaos run: %v", err)
 	}
@@ -130,7 +130,7 @@ func TestGoldenChaosScenario(t *testing.T) {
 	got := scenarioGolden{ScheduleFP: sched.Fingerprint()}
 	got.DatasetFP, got.Stats = runScenario(t, f, plan, 2)
 
-	baseline, err := ebs.New(f).RunContext(context.Background(), scenarioOpts(2))
+	baseline, err := ebs.New(f).Run(context.Background(), scenarioOpts(2))
 	if err != nil {
 		t.Fatalf("baseline run: %v", err)
 	}
@@ -213,7 +213,7 @@ func TestNeutralPlanReproducesFaultFreeFingerprint(t *testing.T) {
 	if st.FaultedIOs == 0 {
 		t.Fatal("no IO ever hit a crashed BS; the neutrality claim is vacuous")
 	}
-	baseline, err := ebs.New(f).RunContext(context.Background(), scenarioOpts(2))
+	baseline, err := ebs.New(f).Run(context.Background(), scenarioOpts(2))
 	if err != nil {
 		t.Fatalf("baseline run: %v", err)
 	}

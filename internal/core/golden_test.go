@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -188,7 +189,7 @@ func TestGoldenAblations(t *testing.T) {
 func goldenEngineRun(t *testing.T, workers int) *invariant.Artifacts {
 	t.Helper()
 	s := goldenStudy(t)
-	ds, err := ebs.New(s.Fleet).Run(ebs.Options{
+	ds, err := ebs.New(s.Fleet).Run(context.Background(), ebs.Options{
 		DurationSec: 20, TraceSampleEvery: 1, EventSampleEvery: 4,
 		MaxVDs: goldenMaxVD, Workers: workers,
 	})

@@ -1,0 +1,148 @@
+package diting
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ebslab/internal/cluster"
+	"ebslab/internal/trace"
+)
+
+// synthRecord builds a record shaped like engine output for a small VD set.
+func synthRecord(rng *rand.Rand, id uint64, vd int, timeUS int64) trace.Record {
+	rec := trace.Record{
+		TraceID: id,
+		TimeUS:  timeUS,
+		Op:      trace.Op(rng.Intn(2)),
+		Size:    int32((rng.Intn(64) + 1) * 4096),
+		Offset:  rng.Int63n(1 << 30),
+		DC:      cluster.DCID(vd % 2),
+		Node:    cluster.NodeID(vd % 5),
+		User:    cluster.UserID(vd % 3),
+		VM:      cluster.VMID(vd),
+		VD:      cluster.VDID(vd),
+		QP:      cluster.QPID(vd*4 + rng.Intn(4)),
+		WT:      int8(rng.Intn(8)),
+		Storage: cluster.StorageNodeID(vd % 7),
+		Segment: cluster.SegmentID(vd*16 + rng.Intn(16)),
+	}
+	for s := range rec.Latency {
+		rec.Latency[s] = float32(rng.Float64() * 500)
+	}
+	return rec
+}
+
+// TestEmitBatchEquivalence streams the same synthetic workload through
+// Observe and through EmitBatch at several batch capacities (forcing flush
+// boundaries mid-second and mid-VD) and requires identical records and
+// metric rows.
+func TestEmitBatchEquivalence(t *testing.T) {
+	const sampleEvery = 4
+	makeRecords := func() [][]trace.Record {
+		rng := rand.New(rand.NewSource(7))
+		var perVD [][]trace.Record
+		for vd := 0; vd < 6; vd++ {
+			var recs []trace.Record
+			base := uint64(vd+1) << 40
+			n := 200 + rng.Intn(200)
+			timeUS := int64(0)
+			for i := 0; i < n; i++ {
+				timeUS += int64(rng.Intn(40_000))
+				recs = append(recs, synthRecord(rng, base+uint64(i+1), vd, timeUS))
+			}
+			perVD = append(perVD, recs)
+		}
+		return perVD
+	}
+
+	want := New(sampleEvery)
+	for _, recs := range makeRecords() {
+		for _, rec := range recs {
+			want.Observe(rec)
+		}
+	}
+
+	for _, capacity := range []int{1, 3, 64, trace.DefaultBatchCap} {
+		got := Acquire(sampleEvery)
+		b := trace.GetBatch(capacity)
+		for _, recs := range makeRecords() {
+			for i := range recs {
+				b.Append(&recs[i])
+				if b.Full() {
+					got.EmitBatch(b)
+					b.Reset()
+				}
+			}
+		}
+		got.EmitBatch(b)
+		b.Release()
+
+		if !reflect.DeepEqual(got.Records(), want.Records()) {
+			t.Fatalf("cap %d: sampled records differ (%d vs %d)", capacity, len(got.Records()), len(want.Records()))
+		}
+		if !reflect.DeepEqual(got.ComputeRows(), want.ComputeRows()) {
+			t.Fatalf("cap %d: compute rows differ", capacity)
+		}
+		if !reflect.DeepEqual(got.StorageRows(), want.StorageRows()) {
+			t.Fatalf("cap %d: storage rows differ", capacity)
+		}
+		got.Release()
+	}
+}
+
+// TestMergeCopiesAccums verifies Merge output survives shard Release: the
+// regression this guards is Merge aliasing shard-owned accumulators that a
+// pooled tracer then recycles.
+func TestMergeCopiesAccums(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sh1, sh2 := Acquire(1), Acquire(1)
+	for i := 0; i < 300; i++ {
+		sh1.Observe(synthRecord(rng, uint64(i+1), 0, int64(i)*3000))
+		sh2.Observe(synthRecord(rng, uint64(i+1)<<32, 1, int64(i)*3000))
+	}
+	merged := Merge(1, sh1, sh2)
+	wantCompute := merged.ComputeRows()
+	wantStorage := merged.StorageRows()
+	wantRecords := append([]trace.Record(nil), merged.Records()...)
+
+	// Recycle the shards and dirty their successors' slabs.
+	sh1.Release()
+	sh2.Release()
+	d := Acquire(1)
+	for i := 0; i < 300; i++ {
+		d.Observe(synthRecord(rng, uint64(i+977), 2, int64(i)*1500))
+	}
+
+	if !reflect.DeepEqual(merged.ComputeRows(), wantCompute) {
+		t.Fatal("merged compute rows changed after shard release+reuse")
+	}
+	if !reflect.DeepEqual(merged.StorageRows(), wantStorage) {
+		t.Fatal("merged storage rows changed after shard release+reuse")
+	}
+	if !reflect.DeepEqual(merged.Records(), wantRecords) {
+		t.Fatal("merged records changed after shard release+reuse")
+	}
+	d.Release()
+}
+
+// TestDetachRecords verifies detached records survive the tracer's release
+// and reuse.
+func TestDetachRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := Acquire(1)
+	for i := 0; i < 100; i++ {
+		tr.Observe(synthRecord(rng, uint64(i+1), 3, int64(i)*9000))
+	}
+	recs := tr.DetachRecords()
+	snapshot := append([]trace.Record(nil), recs...)
+	tr.Release()
+	tr2 := Acquire(1)
+	for i := 0; i < 100; i++ {
+		tr2.Observe(synthRecord(rng, uint64(i+1), 4, int64(i)*9000))
+	}
+	if !reflect.DeepEqual(recs, snapshot) {
+		t.Fatal("detached records mutated by tracer reuse")
+	}
+	tr2.Release()
+}

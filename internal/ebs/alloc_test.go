@@ -1,0 +1,37 @@
+package ebs
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunSteadyStateAllocs pins the hot path's allocation budget: once the
+// pools (tracers, batches, RNG sources) are warm, a full simulation run must
+// stay within 130 allocations — the dataset assembly itself (record/row
+// slices) plus a fixed per-run overhead, with ZERO allocations per simulated
+// IO. A regression here means per-record churn crept back into the inner
+// loop; see DESIGN.md's "Hot path & memory layout".
+func TestRunSteadyStateAllocs(t *testing.T) {
+	f := smallFleet(t)
+	sim := New(f)
+	opts := Options{DurationSec: 8, TraceSampleEvery: 1, EventSampleEvery: 8, MaxVDs: 10, Workers: 1}
+
+	run := func() {
+		ds, err := sim.Run(context.Background(), opts)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if len(ds.Trace) == 0 {
+			t.Fatal("no trace records")
+		}
+	}
+	// Warm the pools: the first runs pay one-time slab, batch, and scratch
+	// allocations that steady state reuses.
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	const budget = 130
+	if got := testing.AllocsPerRun(5, run); got > budget {
+		t.Fatalf("steady-state Run allocates %.0f times, budget is %d", got, budget)
+	}
+}

@@ -18,7 +18,7 @@ func chaosPlan() *chaos.Plan {
 
 func TestOptionsRejectInvalidChaosPlan(t *testing.T) {
 	f := smallFleet(t)
-	_, err := New(f).Run(Options{
+	_, err := New(f).Run(context.Background(), Options{
 		DurationSec: 4, MaxVDs: 4,
 		Chaos: &chaos.Plan{Net: chaos.NetFaults{DropRate: 2}},
 	})
@@ -31,7 +31,7 @@ func TestChaosStatsPopulated(t *testing.T) {
 	f := smallFleet(t)
 	var st chaos.Stats
 	plan := chaosPlan()
-	_, err := New(f).Run(Options{
+	_, err := New(f).Run(context.Background(), Options{
 		DurationSec: 10, TraceSampleEvery: 1, EventSampleEvery: 4,
 		Chaos: plan, ChaosStats: &st,
 	})
@@ -55,7 +55,7 @@ func TestChaosStatsPopulated(t *testing.T) {
 // accounting.
 func TestChaosRunPassesCheckMode(t *testing.T) {
 	f := smallFleet(t)
-	_, err := New(f).Run(Options{
+	_, err := New(f).Run(context.Background(), Options{
 		DurationSec: 8, TraceSampleEvery: 1, EventSampleEvery: 4, MaxVDs: 16,
 		Workers: 3, Check: true, Chaos: chaosPlan(),
 	})
@@ -76,7 +76,7 @@ func TestChaosWorkerCountInvarianceDataset(t *testing.T) {
 	opts1.Workers = 1
 	var st1 chaos.Stats
 	opts1.ChaosStats = &st1
-	ref, err := New(f).RunContext(context.Background(), opts1)
+	ref, err := New(f).Run(context.Background(), opts1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestChaosWorkerCountInvarianceDataset(t *testing.T) {
 		opts.Workers = workers
 		var st chaos.Stats
 		opts.ChaosStats = &st
-		got, err := New(f).RunContext(context.Background(), opts)
+		got, err := New(f).Run(context.Background(), opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,7 +104,7 @@ func TestChaosWorkerCountInvarianceDataset(t *testing.T) {
 func TestChaosPenaltyOnlyRaisesLatency(t *testing.T) {
 	f := smallFleet(t)
 	base := Options{DurationSec: 8, TraceSampleEvery: 1, EventSampleEvery: 4, MaxVDs: 16, Workers: 2}
-	clean, err := New(f).Run(base)
+	clean, err := New(f).Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestChaosPenaltyOnlyRaisesLatency(t *testing.T) {
 	var st chaos.Stats
 	opts.Chaos = &chaos.Plan{BSCrashes: 8, MeanDownSec: 3, FailoverPenaltyUS: 500, Recoverable: true}
 	opts.ChaosStats = &st
-	faulted, err := New(f).Run(opts)
+	faulted, err := New(f).Run(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

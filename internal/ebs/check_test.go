@@ -13,7 +13,7 @@ import (
 // healthy run: every conservation law must hold by construction.
 func TestCheckModeCleanRun(t *testing.T) {
 	f := smallFleet(t)
-	ds, err := New(f).Run(Options{
+	ds, err := New(f).Run(context.Background(), Options{
 		DurationSec: 10, TraceSampleEvery: 1, EventSampleEvery: 1,
 		MaxVDs: 8, Check: true,
 	})
@@ -30,7 +30,7 @@ func TestCheckModeCleanRun(t *testing.T) {
 // laws must compare like with like under the scaling factors.
 func TestCheckModeWithSamplingAndThinning(t *testing.T) {
 	f := smallFleet(t)
-	if _, err := New(f).Run(Options{
+	if _, err := New(f).Run(context.Background(), Options{
 		DurationSec: 10, TraceSampleEvery: 16, EventSampleEvery: 4,
 		MaxVDs: 10, Check: true,
 	}); err != nil {
@@ -67,7 +67,7 @@ func cleanRun(t *testing.T) *fleetAndRun {
 	f := smallFleet(t)
 	sim := New(f)
 	const maxVDs, dur = 8, 10
-	ds, err := sim.Run(Options{DurationSec: dur, TraceSampleEvery: 1, EventSampleEvery: 1, MaxVDs: maxVDs})
+	ds, err := sim.Run(context.Background(), Options{DurationSec: dur, TraceSampleEvery: 1, EventSampleEvery: 1, MaxVDs: maxVDs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestDeterminismOracle(t *testing.T) {
 	sim := New(f)
 	rep := &invariant.Report{}
 	invariant.CheckDeterminism(rep, func(workers int) (*trace.Dataset, error) {
-		return sim.Run(Options{
+		return sim.Run(context.Background(), Options{
 			DurationSec: 8, TraceSampleEvery: 1, EventSampleEvery: 2,
 			MaxVDs: 10, Workers: workers,
 		})

@@ -16,6 +16,7 @@ import (
 	"ebslab/internal/throttle"
 	"ebslab/internal/trace"
 	"ebslab/internal/workload"
+	"ebslab/internal/xrand"
 )
 
 // vdIDBase spaces per-VD trace-ID streams far enough apart that no stream
@@ -23,54 +24,96 @@ import (
 // the generator's 2^20 events/s cap.
 func vdIDBase(vd cluster.VDID) uint64 { return (uint64(vd) + 1) << 40 }
 
-// shard is the per-worker simulation state: its own tracer (the tracer is
-// not safe for concurrent use) plus reusable buffers. In check mode each
-// shard also accumulates its throttle-audit findings; under chaos it
-// accumulates its fault counters (summed after the pool drains, so the
-// totals are worker-count independent).
+// shard is the per-worker simulation state: its own pooled tracer (the
+// tracer is not safe for concurrent use), its columnar record batch, and
+// every scratch buffer the per-VD replay needs, so steady-state simulation
+// allocates nothing. In check mode each shard also accumulates its
+// throttle-audit findings; under chaos it accumulates its fault counters
+// (summed after the pool drains, so the totals are worker-count
+// independent).
 type shard struct {
 	tracer *diting.Tracer
-	demand []throttle.Demand
-	audit  []string
-	chaos  chaos.Stats
 	sketch *sketch.Set // nil unless Options.Stream is set
+	batch  *trace.Batch
+
+	// em is the per-VD fill state behind emitFn; emitFn is bound once per
+	// shard so the event generator callback costs no per-VD closure.
+	em     vdEmitter
+	emitFn func(workload.Event)
+
+	series []workload.Sample
+	demand []throttle.Demand
+	caps   [1]throttle.Caps
+	group  [1][]throttle.Demand
+	th     throttle.Scratch
+
+	audit []string
+	chaos chaos.Stats
 }
 
-// RunContext simulates the fleet's IO for the window across a bounded
-// worker pool and returns the collected datasets. Virtual disks are
-// independent by construction — per-VD series, event, and latency streams
-// are all derived from (seed, VD) — so disks are dealt to workers
-// dynamically and shard outputs are merged deterministically afterwards:
-// the result is byte-identical for every Workers value.
+// flush drains the shard's batch into the tracer and (when streaming) the
+// sketch set, in that order — the same tracer-then-sketch sequence the
+// record-at-a-time path observed per IO.
+func (sh *shard) flush() {
+	if sh.batch.Len() == 0 {
+		return
+	}
+	sh.tracer.EmitBatch(sh.batch)
+	if sh.sketch != nil {
+		sh.sketch.ObserveBatch(sh.batch)
+	}
+	sh.batch.Reset()
+}
+
+// newShards builds the per-worker shard states for one run.
+func (s *Sim) newShards(workers int, opts *Options, streamCfg sketch.Config) []*shard {
+	shards := make([]*shard, workers)
+	for i := range shards {
+		sh := &shard{
+			tracer: diting.Acquire(opts.TraceSampleEvery),
+			batch:  trace.GetBatch(trace.DefaultBatchCap),
+		}
+		sh.emitFn = sh.em.emit
+		if opts.Stream != nil {
+			sh.sketch = sketch.NewSet(streamCfg)
+		}
+		shards[i] = sh
+	}
+	return shards
+}
+
+// releaseShards returns the shards' pooled tracers and batches. Callers
+// must have copied or detached everything they keep (Merge copies).
+func releaseShards(shards []*shard) {
+	for _, sh := range shards {
+		sh.tracer.Release()
+		sh.batch.Release()
+	}
+}
+
+// Run simulates the fleet's IO for the window across a bounded worker pool
+// and returns the collected datasets. It is the canonical entry point;
+// every other runner (RunShard, the fabric worker) shares its batch
+// pipeline. Virtual disks are independent by construction — per-VD series,
+// event, and latency streams are all derived from (seed, VD) — so disks are
+// dealt to workers dynamically and shard outputs are merged
+// deterministically afterwards: the result is byte-identical for every
+// Workers value.
 //
 // Cancellation is checked between virtual disks; on cancellation the
-// partial work is discarded and ctx's error is returned.
-func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, error) {
+// partial work is discarded and ctx's error is returned. A nil ctx is
+// treated as context.Background().
+func (s *Sim) Run(ctx context.Context, opts Options) (*trace.Dataset, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := opts.Validate(); err != nil {
+	opts, err := opts.prepare(s.fleet)
+	if err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults(s.fleet)
 	top := s.fleet.Topology
-	model := s.model
-	if opts.Latency != nil {
-		model = opts.Latency
-	}
-	nVDs := len(top.VDs)
-	if opts.MaxVDs > 0 && opts.MaxVDs < nVDs {
-		nVDs = opts.MaxVDs
-	}
-
-	// Per-node QP index lookup for worker-thread attribution (read-only
-	// while the pool runs).
-	wtOf := make(map[cluster.QPID]int8)
-	for _, b := range s.bindings {
-		for i, qp := range b.QPs {
-			wtOf[qp] = b.WTOf[i]
-		}
-	}
+	table := s.tableFor(opts)
+	nVDs := s.runVDs(opts)
 
 	workers := par.Workers(opts.Workers)
 	if workers > nVDs && nVDs > 0 {
@@ -80,13 +123,7 @@ func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, err
 	if opts.Stream != nil {
 		streamCfg = s.streamConfigFor(opts, nVDs)
 	}
-	shards := make([]*shard, workers)
-	for i := range shards {
-		shards[i] = &shard{tracer: diting.New(opts.TraceSampleEvery)}
-		if opts.Stream != nil {
-			shards[i].sketch = sketch.NewSet(streamCfg)
-		}
-	}
+	shards := s.newShards(workers, &opts, streamCfg)
 	// Check mode counts every emitted IO at the source. Shards own disjoint
 	// virtual disks, so per-VD slots have a single writer and the shared
 	// Emission needs no locking.
@@ -96,18 +133,13 @@ func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, err
 	}
 	// Expand the fault plan once, before the pool: the schedule is a pure
 	// function of (seed, plan, shape), read-only while workers run.
-	var sched *chaos.Schedule
-	if opts.Chaos != nil {
-		sched = opts.Chaos.Expand(opts.Seed, chaos.Shape{
-			BSs: len(top.StorageNodes), VDs: len(top.VDs), DurSec: opts.DurationSec,
-		})
-	}
+	sched := s.expandChaos(opts)
 	var (
 		done      atomic.Int64
 		progressM sync.Mutex
 	)
-	err := par.ForEachWorker(ctx, nVDs, workers, func(worker, vdIdx int) error {
-		if err := s.simulateVD(shards[worker], vdIdx, opts, model, wtOf, emission, sched); err != nil {
+	err = par.ForEachWorker(ctx, nVDs, workers, func(worker, vdIdx int) error {
+		if err := s.simulateVD(shards[worker], vdIdx, &opts, table, emission, sched); err != nil {
 			return err
 		}
 		if opts.Progress != nil {
@@ -119,28 +151,51 @@ func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, err
 		return nil
 	})
 	if err != nil {
+		releaseShards(shards)
 		return nil, err
 	}
 
 	merged := diting.Merge(opts.TraceSampleEvery, tracersOf(shards)...)
 	ds := s.assembleDataset(opts, merged)
+	var sets []*sketch.Set
+	if opts.Stream != nil {
+		sets = make([]*sketch.Set, len(shards))
+		for i, sh := range shards {
+			sets[i] = sh.sketch
+		}
+	}
+	var ioStats chaos.Stats
+	var audits []string
+	for _, sh := range shards {
+		ioStats.Merge(sh.chaos)
+		audits = append(audits, sh.audit...)
+	}
+	releaseShards(shards)
+	if err := s.runTail(opts, ds, sched, streamCfg, sets, ioStats, emission, audits); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// runTail is the post-merge finalization shared by Run and MergeShards:
+// publish the merged sketch state, publish chaos accounting, and run the
+// check-mode verification suite.
+func (s *Sim) runTail(opts Options, ds *trace.Dataset, sched *chaos.Schedule, streamCfg sketch.Config, sets []*sketch.Set, ioStats chaos.Stats, emission *invariant.Emission, audits []string) error {
 	// Merge the per-shard sketch sets into the caller's destination. Shards
 	// own disjoint virtual disks, so Set.Merge is exactly commutative here
 	// and the merged state is worker-count invariant.
 	var shardTotals []sketch.Totals
 	if opts.Stream != nil {
 		mergedSketch := sketch.NewSet(streamCfg)
-		for _, sh := range shards {
-			shardTotals = append(shardTotals, sh.sketch.Totals())
-			mergedSketch.Merge(sh.sketch)
+		for _, set := range sets {
+			shardTotals = append(shardTotals, set.Totals())
+			mergedSketch.Merge(set)
 		}
 		*opts.Stream = *mergedSketch
 	}
 	if sched != nil && opts.ChaosStats != nil {
 		st := chaos.Stats{CrashWindows: len(sched.Crashes), StormWindows: len(sched.Storms)}
-		for _, sh := range shards {
-			st.Merge(sh.chaos)
-		}
+		st.Merge(ioStats)
 		*opts.ChaosStats = st
 	}
 	if opts.Check {
@@ -151,9 +206,7 @@ func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, err
 			EventSampleEvery: opts.EventSampleEvery,
 			TraceSampleEvery: opts.TraceSampleEvery,
 		})
-		for _, sh := range shards {
-			rep.AddAll("throttle/grants", sh.audit)
-		}
+		rep.AddAll("throttle/grants", audits)
 		if sched != nil {
 			invariant.CheckChaosSchedule(rep, opts.Chaos, opts.Seed, sched)
 		}
@@ -161,18 +214,112 @@ func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, err
 			invariant.CheckSketchConservation(rep, opts.Stream, shardTotals, emission)
 		}
 		if err := rep.Err(); err != nil {
-			return nil, fmt.Errorf("ebs: check mode: %w", err)
+			return fmt.Errorf("ebs: check mode: %w", err)
 		}
 	}
-	return ds, nil
+	return nil
 }
 
-// simulateVD replays one virtual disk's window into the shard's tracer:
-// throttle replay for queue delay, event generation, per-stage latency
-// sampling from the disk-derived RNG stream. Under a chaos schedule, storm
-// windows boost the disk's offered demand (throttle and generator alike)
-// and crash windows tax IOs bound for the dead BlockServer.
-func (s *Sim) simulateVD(sh *shard, vdIdx int, opts Options, model *latency.Model, wtOf map[cluster.QPID]int8, emission *invariant.Emission, sched *chaos.Schedule) error {
+// expandChaos expands the run's fault plan against the fleet shape, or
+// returns nil when the run has none.
+func (s *Sim) expandChaos(opts Options) *chaos.Schedule {
+	if opts.Chaos == nil {
+		return nil
+	}
+	top := s.fleet.Topology
+	return opts.Chaos.Expand(opts.Seed, chaos.Shape{
+		BSs: len(top.StorageNodes), VDs: len(top.VDs), DurSec: opts.DurationSec,
+	})
+}
+
+// vdEmitter is the batch-fill state of the virtual disk a shard is
+// currently replaying. One vdEmitter lives in each shard and is overwritten
+// per disk; its emit method is the event generator's callback, appending
+// one columnar row per IO and flushing the shard's batch as it fills.
+type vdEmitter struct {
+	sh         *shard
+	top        *cluster.Topology
+	seg2bs     *cluster.SegmentMap
+	wtOf       []int8
+	table      *latency.Table
+	rng        *xrand.Rand
+	emission   *invariant.Emission
+	sched      *chaos.Schedule
+	boost      func(sec int) float64
+	queueDelay []float64
+
+	vdID cluster.VDID
+	dc   cluster.DCID
+	node cluster.NodeID
+	user cluster.UserID
+	vm   cluster.VMID
+
+	genErr error
+}
+
+// emit appends one generated IO to the shard's batch: placement lookup,
+// latency sampling from the disk-derived RNG stream, chaos penalties, and
+// throttle queue delay, exactly as the record-at-a-time path applied them.
+func (e *vdEmitter) emit(ev workload.Event) {
+	if e.genErr != nil {
+		return
+	}
+	if e.emission != nil {
+		e.emission.Add(e.vdID, ev.Op, ev.Size)
+	}
+	seg := e.top.SegmentOfOffset(e.vdID, ev.Offset)
+	sn := e.seg2bs.BSOf(seg)
+	if sn < 0 {
+		e.genErr = fmt.Errorf("ebs: segment %d unplaced", seg)
+		return
+	}
+	sh := e.sh
+	b := sh.batch
+	if b.Full() {
+		sh.flush()
+	}
+	i := b.Next()
+	b.TraceID[i] = sh.tracer.NextTraceID()
+	b.TimeUS[i] = ev.TimeUS
+	b.Op[i] = ev.Op
+	b.Size[i] = ev.Size
+	b.Offset[i] = ev.Offset
+	b.DC[i] = e.dc
+	b.Node[i] = e.node
+	b.User[i] = e.user
+	b.VM[i] = e.vm
+	b.VD[i] = e.vdID
+	b.QP[i] = ev.QP
+	b.WT[i] = e.wtOf[ev.QP]
+	b.Storage[i] = sn
+	b.Segment[i] = seg
+	e.table.SampleInto(e.rng.Rand, ev.Op, ev.Size, &b.Lat[i])
+	sec := int(ev.TimeUS / 1_000_000)
+	if e.sched != nil {
+		if e.sched.BSDownAt(int(sn), sec) {
+			sh.chaos.FaultedIOs++
+			if e.sched.PenaltyUS > 0 {
+				b.Lat[i][trace.StageFrontendNet] += float32(e.sched.PenaltyUS)
+			}
+		}
+		if e.boost != nil && e.boost(sec) != 1 {
+			sh.chaos.StormIOs++
+		}
+	}
+	if e.queueDelay != nil {
+		if sec < len(e.queueDelay) && e.queueDelay[sec] > 0 {
+			b.Lat[i][trace.StageComputeNode] += float32(e.queueDelay[sec] * 1e6)
+		}
+	}
+}
+
+// simulateVD replays one virtual disk's window into the shard's batch
+// pipeline: throttle replay for queue delay, event generation over the
+// shared traffic series, per-stage latency sampling from the disk-derived
+// RNG stream. Under a chaos schedule, storm windows boost the disk's
+// offered demand (throttle and generator alike) and crash windows tax IOs
+// bound for the dead BlockServer.
+func (s *Sim) simulateVD(sh *shard, vdIdx int, opts *Options, table *latency.Table, emission *invariant.Emission, sched *chaos.Schedule) error {
 	top := s.fleet.Topology
 	vdID := cluster.VDID(vdIdx)
 	vd := &top.VDs[vdIdx]
@@ -184,13 +331,17 @@ func (s *Sim) simulateVD(sh *shard, vdIdx int, opts Options, model *latency.Mode
 		boost = sched.VDStormFn(vdIdx)
 	}
 
+	// One traffic series feeds both the throttle replay and the event
+	// generator (their RNG streams are independent, so sharing the series
+	// changes no draw).
+	sh.series = s.fleet.VDSeriesInto(sh.series, vdID, opts.DurationSec)
+
 	// Per-VD throttle replay over the second-granularity series gives
 	// each second's queue delay.
 	var queueDelay []float64
 	if !opts.DisableThrottle {
-		series := s.fleet.VDSeries(vdID, opts.DurationSec)
 		sh.demand = sh.demand[:0]
-		for t, smp := range series {
+		for t, smp := range sh.series {
 			b := 1.0
 			if boost != nil {
 				b = boost(t)
@@ -200,81 +351,44 @@ func (s *Sim) simulateVD(sh *shard, vdIdx int, opts Options, model *latency.Mode
 				ReadIOPS: b * smp.ReadIOPS, WriteIOPS: b * smp.WriteIOPS,
 			})
 		}
-		caps := []throttle.Caps{{Tput: vd.ThroughputCap, IOPS: vd.IOPSCap}}
-		group := [][]throttle.Demand{sh.demand}
-		var res throttle.Result
+		sh.caps[0] = throttle.Caps{Tput: vd.ThroughputCap, IOPS: vd.IOPSCap}
+		sh.group[0] = sh.demand
 		if opts.Check {
-			var msgs []string
-			res, msgs = throttle.SimulateAudited(caps, group)
+			res, msgs := throttle.SimulateAudited(sh.caps[:], sh.group[:])
 			for _, m := range msgs {
 				sh.audit = append(sh.audit, fmt.Sprintf("VD %d: %s", vdID, m))
 			}
+			queueDelay = res.QueueDelaySec[0]
 		} else {
-			res = throttle.Simulate(caps, group)
+			res := sh.th.Simulate(sh.caps[:], sh.group[:])
+			queueDelay = res.QueueDelaySec[0]
 		}
-		queueDelay = res.QueueDelaySec[0]
 	}
 
-	rng := newLatencyRand(opts.Seed, vdID)
-	tracer := sh.tracer
-	tracer.StartStream(vdIDBase(vdID))
+	rng := xrand.Get(latencySeed(opts.Seed, vdID))
+	defer rng.Release()
+	sh.tracer.StartStream(vdIDBase(vdID))
 
-	var genErr error
-	s.fleet.GenEventsBoosted(vdID, opts.DurationSec, opts.EventSampleEvery, boost, func(ev workload.Event) {
-		if genErr != nil {
-			return
-		}
-		if emission != nil {
-			emission.Add(vdID, ev.Op, ev.Size)
-		}
-		seg := top.SegmentOfOffset(vdID, ev.Offset)
-		sn := s.fleet.Seg2BS.BSOf(seg)
-		if sn < 0 {
-			genErr = fmt.Errorf("ebs: segment %d unplaced", seg)
-			return
-		}
-		rec := trace.Record{
-			TraceID: tracer.NextTraceID(),
-			TimeUS:  ev.TimeUS,
-			Op:      ev.Op,
-			Size:    ev.Size,
-			Offset:  ev.Offset,
-			DC:      node.DC,
-			Node:    node.ID,
-			User:    vm.User,
-			VM:      vm.ID,
-			VD:      vdID,
-			QP:      ev.QP,
-			WT:      wtOf[ev.QP],
-			Storage: sn,
-			Segment: seg,
-		}
-		rec.Latency = model.Sample(rng, ev.Op, ev.Size, latency.NoCache, false)
-		sec := int(ev.TimeUS / 1_000_000)
-		if sched != nil {
-			if sched.BSDownAt(int(sn), sec) {
-				sh.chaos.FaultedIOs++
-				if sched.PenaltyUS > 0 {
-					rec.Latency[trace.StageFrontendNet] += float32(sched.PenaltyUS)
-				}
-			}
-			if boost != nil && boost(sec) != 1 {
-				sh.chaos.StormIOs++
-			}
-		}
-		if queueDelay != nil {
-			if sec < len(queueDelay) && queueDelay[sec] > 0 {
-				rec.Latency[trace.StageComputeNode] += float32(queueDelay[sec] * 1e6)
-			}
-		}
-		tracer.Observe(rec)
-		if sh.sketch != nil {
-			// The record is final here (queue delay and fault penalties
-			// applied), so the latency sketch sees what the trace records.
-			sh.sketch.Observe(&rec)
-		}
-	})
-	return genErr
+	sh.em = vdEmitter{
+		sh:         sh,
+		top:        top,
+		seg2bs:     s.fleet.Seg2BS,
+		wtOf:       s.wtOf,
+		table:      table,
+		rng:        rng,
+		emission:   emission,
+		sched:      sched,
+		boost:      boost,
+		queueDelay: queueDelay,
+		vdID:       vdID,
+		dc:         node.DC,
+		node:       node.ID,
+		user:       vm.User,
+		vm:         vm.ID,
+	}
+	s.fleet.GenEventsBoostedOver(vdID, sh.series, opts.EventSampleEvery, boost, sh.emitFn)
+	sh.flush()
+	return sh.em.genErr
 }
 
 // tracersOf projects the shard slice to its tracers in shard order.

@@ -1,6 +1,7 @@
 package ebs
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestMetricRowsMatchGeneratorGroundTruth(t *testing.T) {
 	f := smallFleet(t)
 	const dur = 12
 	const maxVDs = 8
-	ds, err := New(f).Run(Options{
+	ds, err := New(f).Run(context.Background(), Options{
 		DurationSec: dur, TraceSampleEvery: 1, EventSampleEvery: 1,
 		MaxVDs: maxVDs, DisableThrottle: true,
 	})
@@ -66,11 +67,11 @@ func TestMetricRowsMatchGeneratorGroundTruth(t *testing.T) {
 // sampling on, roughly total/sampleEvery records survive.
 func TestSampledTraceCountConsistent(t *testing.T) {
 	f := smallFleet(t)
-	full, err := New(f).Run(Options{DurationSec: 10, TraceSampleEvery: 1, MaxVDs: 10})
+	full, err := New(f).Run(context.Background(), Options{DurationSec: 10, TraceSampleEvery: 1, MaxVDs: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sampled, err := New(f).Run(Options{DurationSec: 10, TraceSampleEvery: 16, MaxVDs: 10})
+	sampled, err := New(f).Run(context.Background(), Options{DurationSec: 10, TraceSampleEvery: 16, MaxVDs: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestSampledTraceCountConsistent(t *testing.T) {
 // through the simulator: ChunkServer dominates, networks are symmetric-ish.
 func TestLatencyStagesPlausible(t *testing.T) {
 	f := smallFleet(t)
-	ds, err := New(f).Run(Options{DurationSec: 8, TraceSampleEvery: 1, MaxVDs: 10, DisableThrottle: true})
+	ds, err := New(f).Run(context.Background(), Options{DurationSec: 8, TraceSampleEvery: 1, MaxVDs: 10, DisableThrottle: true})
 	if err != nil {
 		t.Fatal(err)
 	}

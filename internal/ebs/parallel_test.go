@@ -8,16 +8,16 @@ import (
 	"testing"
 )
 
-// TestRunContextWorkerCountInvariance is the engine's determinism contract:
+// TestRunWorkerCountInvariance is the engine's determinism contract:
 // the same seed must yield byte-identical datasets (trace records, compute
 // rows, storage rows) no matter how many workers share the fleet.
-func TestRunContextWorkerCountInvariance(t *testing.T) {
+func TestRunWorkerCountInvariance(t *testing.T) {
 	f := smallFleet(t)
 	base := Options{DurationSec: 8, TraceSampleEvery: 4, EventSampleEvery: 2, MaxVDs: 16}
 
 	opts1 := base
 	opts1.Workers = 1
-	ref, err := New(f).RunContext(context.Background(), opts1)
+	ref, err := New(f).Run(context.Background(), opts1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +27,7 @@ func TestRunContextWorkerCountInvariance(t *testing.T) {
 	for _, workers := range []int{2, 3, 8} {
 		opts := base
 		opts.Workers = workers
-		got, err := New(f).RunContext(context.Background(), opts)
+		got, err := New(f).Run(context.Background(), opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -43,11 +43,11 @@ func TestRunContextWorkerCountInvariance(t *testing.T) {
 	}
 }
 
-// TestRunContextCanonicalTraceOrder checks the merged trace contract: IDs
+// TestRunCanonicalTraceOrder checks the merged trace contract: IDs
 // are 1..N in (time, VD) order.
-func TestRunContextCanonicalTraceOrder(t *testing.T) {
+func TestRunCanonicalTraceOrder(t *testing.T) {
 	f := smallFleet(t)
-	ds, err := New(f).RunContext(context.Background(),
+	ds, err := New(f).Run(context.Background(),
 		Options{DurationSec: 6, TraceSampleEvery: 1, EventSampleEvery: 4, MaxVDs: 10, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -69,12 +69,12 @@ func TestRunContextCanonicalTraceOrder(t *testing.T) {
 	}
 }
 
-func TestRunContextCancellation(t *testing.T) {
+func TestRunCancellation(t *testing.T) {
 	f := smallFleet(t)
 	// Pre-cancelled context: no work at all.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	ds, err := New(f).RunContext(ctx, Options{DurationSec: 5, MaxVDs: 8})
+	ds, err := New(f).Run(ctx, Options{DurationSec: 5, MaxVDs: 8})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("pre-cancelled run: got (%v, %v), want context.Canceled", ds, err)
 	}
@@ -86,7 +86,7 @@ func TestRunContextCancellation(t *testing.T) {
 	ctx2, cancel2 := context.WithCancel(context.Background())
 	defer cancel2()
 	var calls int
-	ds, err = New(f).RunContext(ctx2, Options{
+	ds, err = New(f).Run(ctx2, Options{
 		DurationSec: 5, MaxVDs: 12, Workers: 2,
 		Progress: func(done, total int) {
 			calls++
@@ -103,10 +103,10 @@ func TestRunContextCancellation(t *testing.T) {
 	}
 }
 
-func TestRunContextProgressReachesTotal(t *testing.T) {
+func TestRunProgressReachesTotal(t *testing.T) {
 	f := smallFleet(t)
 	var last, total int
-	_, err := New(f).RunContext(context.Background(), Options{
+	_, err := New(f).Run(context.Background(), Options{
 		DurationSec: 4, MaxVDs: 9, Workers: 3,
 		Progress: func(d, t int) { last, total = d, t },
 	})
@@ -144,7 +144,7 @@ func TestOptionsValidateRejectsNegatives(t *testing.T) {
 
 	// Run must surface the validation error rather than clamping.
 	f := smallFleet(t)
-	if _, err := New(f).Run(Options{DurationSec: -5}); err == nil {
+	if _, err := New(f).Run(context.Background(), Options{DurationSec: -5}); err == nil {
 		t.Fatal("Run accepted a negative duration")
 	}
 }

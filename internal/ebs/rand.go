@@ -6,15 +6,20 @@ import (
 	"ebslab/internal/cluster"
 )
 
-// newLatencyRand derives the latency-sampling stream of one virtual disk
-// from the base seed (the fleet seed, or the Options.Seed override). Each
-// disk gets its own child stream keyed by (seed, VD), so latency draws are
-// a pure function of the disk — independent of simulation order, shard
-// assignment, and worker count.
-func newLatencyRand(seed int64, vd cluster.VDID) *rand.Rand {
+// latencySeed derives the latency-sampling seed of one virtual disk from
+// the base seed (the fleet seed, or the Options.Seed override). Each disk
+// gets its own child stream keyed by (seed, VD), so latency draws are a
+// pure function of the disk — independent of simulation order, shard
+// assignment, and worker count. The engine feeds this seed to the pooled
+// xrand source; newLatencyRand remains as the plain constructor.
+func latencySeed(seed int64, vd cluster.VDID) int64 {
 	base := uint64(seed) ^ 0x1a7e9c
-	child := splitmix64(base ^ (uint64(vd)+1)*0x9e3779b97f4a7c15)
-	return rand.New(rand.NewSource(int64(child)))
+	return int64(splitmix64(base ^ (uint64(vd)+1)*0x9e3779b97f4a7c15))
+}
+
+// newLatencyRand builds the per-disk latency stream as a fresh *rand.Rand.
+func newLatencyRand(seed int64, vd cluster.VDID) *rand.Rand {
+	return rand.New(rand.NewSource(latencySeed(seed, vd)))
 }
 
 // splitmix64 is the finalizer of the splitmix64 generator; it decorrelates

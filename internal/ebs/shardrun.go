@@ -6,7 +6,6 @@ import (
 	"sort"
 
 	"ebslab/internal/chaos"
-	"ebslab/internal/cluster"
 	"ebslab/internal/diting"
 	"ebslab/internal/invariant"
 	"ebslab/internal/par"
@@ -70,33 +69,24 @@ func (s *Sim) runVDs(opts Options) int {
 }
 
 // assembleDataset builds the run's dataset from the fully merged tracer:
-// scaled metric rows plus the fleet's VD/VM spec tables. This is the single
-// place dataset assembly happens, shared by the in-process engine and the
-// distributed merge, so the two paths cannot drift.
+// scaled metric rows plus the fleet's (shared, read-only) VD/VM spec
+// tables. This is the single place dataset assembly happens, shared by the
+// in-process engine and the distributed merge, so the two paths cannot
+// drift. The tracer's records are detached into the dataset and the tracer
+// is released back to its pool.
 func (s *Sim) assembleDataset(opts Options, merged *diting.Tracer) *trace.Dataset {
-	top := s.fleet.Topology
+	vdSpecs, vmSpecs := s.specs()
 	ds := &trace.Dataset{
-		Topology:    top,
+		Topology:    s.fleet.Topology,
 		Seg2BS:      s.fleet.Seg2BS,
 		DurationSec: opts.DurationSec,
-		Trace:       merged.Records(),
+		Trace:       merged.DetachRecords(),
 		Compute:     scaleRows(merged.ComputeRows(), float64(opts.EventSampleEvery)),
 		Storage:     scaleRows(merged.StorageRows(), float64(opts.EventSampleEvery)),
+		VDSpecs:     vdSpecs,
+		VMSpecs:     vmSpecs,
 	}
-	for i := range top.VDs {
-		vd := &top.VDs[i]
-		ds.VDSpecs = append(ds.VDSpecs, trace.VDSpec{
-			VD: vd.ID, Capacity: vd.Capacity,
-			ThroughputCap: vd.ThroughputCap, IOPSCap: vd.IOPSCap,
-			NumQPs: len(vd.QPs),
-		})
-	}
-	for i := range top.VMs {
-		vm := &top.VMs[i]
-		ds.VMSpecs = append(ds.VMSpecs, trace.VMSpec{
-			VM: vm.ID, Node: vm.Node, App: vm.App, VDs: vm.VDs,
-		})
-	}
+	merged.Release()
 	return ds
 }
 
@@ -106,30 +96,20 @@ func (s *Sim) assembleDataset(opts Options, merged *diting.Tracer) *trace.Datase
 // configuration sums every disk's throughput cap — so partials from any
 // VD-disjoint covering of [0, nVDs) merge into the exact single-process
 // dataset. Within the shard, disks are dealt across opts.Workers just like
-// RunContext.
+// Run.
 func (s *Sim) RunShard(ctx context.Context, opts Options, lo, hi int) (*ShardPartial, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := opts.Validate(); err != nil {
+	opts, err := opts.prepare(s.fleet)
+	if err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults(s.fleet)
 	nVDs := s.runVDs(opts)
 	if lo < 0 || hi > nVDs || lo >= hi {
 		return nil, fmt.Errorf("ebs: shard [%d,%d) outside run range [0,%d)", lo, hi, nVDs)
 	}
-	top := s.fleet.Topology
-	model := s.model
-	if opts.Latency != nil {
-		model = opts.Latency
-	}
-	wtOf := make(map[cluster.QPID]int8)
-	for _, b := range s.bindings {
-		for i, qp := range b.QPs {
-			wtOf[qp] = b.WTOf[i]
-		}
-	}
+	table := s.tableFor(opts)
 
 	n := hi - lo
 	workers := par.Workers(opts.Workers)
@@ -140,27 +120,17 @@ func (s *Sim) RunShard(ctx context.Context, opts Options, lo, hi int) (*ShardPar
 	if opts.Stream != nil {
 		streamCfg = s.streamConfigFor(opts, nVDs)
 	}
-	shards := make([]*shard, workers)
-	for i := range shards {
-		shards[i] = &shard{tracer: diting.New(opts.TraceSampleEvery)}
-		if opts.Stream != nil {
-			shards[i].sketch = sketch.NewSet(streamCfg)
-		}
-	}
+	shards := s.newShards(workers, &opts, streamCfg)
 	var emission *invariant.Emission
 	if opts.Check {
-		emission = invariant.NewEmission(len(top.VDs))
+		emission = invariant.NewEmission(len(s.fleet.Topology.VDs))
 	}
-	var sched *chaos.Schedule
-	if opts.Chaos != nil {
-		sched = opts.Chaos.Expand(opts.Seed, chaos.Shape{
-			BSs: len(top.StorageNodes), VDs: len(top.VDs), DurSec: opts.DurationSec,
-		})
-	}
-	err := par.ForEachWorker(ctx, n, workers, func(worker, i int) error {
-		return s.simulateVD(shards[worker], lo+i, opts, model, wtOf, emission, sched)
+	sched := s.expandChaos(opts)
+	err = par.ForEachWorker(ctx, n, workers, func(worker, i int) error {
+		return s.simulateVD(shards[worker], lo+i, &opts, table, emission, sched)
 	})
 	if err != nil {
+		releaseShards(shards)
 		return nil, err
 	}
 
@@ -168,10 +138,11 @@ func (s *Sim) RunShard(ctx context.Context, opts Options, lo, hi int) (*ShardPar
 	p := &ShardPartial{
 		Lo:      lo,
 		Hi:      hi,
-		Records: merged.Records(),
+		Records: merged.DetachRecords(),
 		Compute: merged.ComputeRows(),
 		Storage: merged.StorageRows(),
 	}
+	merged.Release()
 	if opts.Stream != nil {
 		p.Sketch = sketch.NewSet(streamCfg)
 		for _, sh := range shards {
@@ -185,6 +156,7 @@ func (s *Sim) RunShard(ctx context.Context, opts Options, lo, hi int) (*ShardPar
 	if emission != nil {
 		p.Emission = append(p.Emission, emission.PerVD[lo:hi]...)
 	}
+	releaseShards(shards)
 	return p, nil
 }
 
@@ -193,12 +165,12 @@ func (s *Sim) RunShard(ctx context.Context, opts Options, lo, hi int) (*ShardPar
 // at-most-once discipline upstream (fabric result accounting) guarantees
 // this for distributed runs, and MergeShards re-verifies it. The merged
 // dataset, streamed sketch state, chaos accounting, and check-mode verdict
-// are byte-identical to a single-process RunContext with the same options.
+// are byte-identical to a single-process Run with the same options.
 func (s *Sim) MergeShards(opts Options, partials []*ShardPartial) (*trace.Dataset, error) {
-	if err := opts.Validate(); err != nil {
+	opts, err := opts.prepare(s.fleet)
+	if err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults(s.fleet)
 	nVDs := s.runVDs(opts)
 	top := s.fleet.Topology
 
@@ -215,6 +187,8 @@ func (s *Sim) MergeShards(opts Options, partials []*ShardPartial) (*trace.Datase
 		return nil, fmt.Errorf("ebs: shards cover [0,%d), run needs [0,%d)", next, nVDs)
 	}
 
+	// FromParts tracers alias the partials' slices; they are merged (which
+	// copies) and must never be pooled or released.
 	tracers := make([]*diting.Tracer, len(parts))
 	for i, p := range parts {
 		tracers[i] = diting.FromParts(opts.TraceSampleEvery, p.Records, p.Compute, p.Storage)
@@ -222,58 +196,36 @@ func (s *Sim) MergeShards(opts Options, partials []*ShardPartial) (*trace.Datase
 	merged := diting.Merge(opts.TraceSampleEvery, tracers...)
 	ds := s.assembleDataset(opts, merged)
 
-	var sched *chaos.Schedule
-	if opts.Chaos != nil {
-		sched = opts.Chaos.Expand(opts.Seed, chaos.Shape{
-			BSs: len(top.StorageNodes), VDs: len(top.VDs), DurSec: opts.DurationSec,
-		})
-	}
-	var shardTotals []sketch.Totals
+	sched := s.expandChaos(opts)
+	var streamCfg sketch.Config
+	var sets []*sketch.Set
 	if opts.Stream != nil {
-		mergedSketch := sketch.NewSet(s.streamConfigFor(opts, nVDs))
+		streamCfg = s.streamConfigFor(opts, nVDs)
 		for _, p := range parts {
 			if p.Sketch == nil {
 				return nil, fmt.Errorf("ebs: shard [%d,%d) has no sketch state in a streaming run", p.Lo, p.Hi)
 			}
-			shardTotals = append(shardTotals, p.Sketch.Totals())
-			mergedSketch.Merge(p.Sketch)
+			sets = append(sets, p.Sketch)
 		}
-		*opts.Stream = *mergedSketch
 	}
-	if sched != nil && opts.ChaosStats != nil {
-		st := chaos.Stats{CrashWindows: len(sched.Crashes), StormWindows: len(sched.Storms)}
-		for _, p := range parts {
-			st.Merge(p.Chaos)
-		}
-		*opts.ChaosStats = st
+	var ioStats chaos.Stats
+	var audits []string
+	for _, p := range parts {
+		ioStats.Merge(p.Chaos)
+		audits = append(audits, p.Audit...)
 	}
+	var emission *invariant.Emission
 	if opts.Check {
-		emission := invariant.NewEmission(len(top.VDs))
+		emission = invariant.NewEmission(len(top.VDs))
 		for _, p := range parts {
 			if len(p.Emission) != p.Hi-p.Lo {
 				return nil, fmt.Errorf("ebs: shard [%d,%d) carries %d emission slots in a checked run", p.Lo, p.Hi, len(p.Emission))
 			}
 			copy(emission.PerVD[p.Lo:p.Hi], p.Emission)
 		}
-		rep := invariant.VerifyRun(&invariant.Artifacts{
-			Fleet:            s.fleet,
-			Dataset:          ds,
-			Emission:         emission,
-			EventSampleEvery: opts.EventSampleEvery,
-			TraceSampleEvery: opts.TraceSampleEvery,
-		})
-		for _, p := range parts {
-			rep.AddAll("throttle/grants", p.Audit)
-		}
-		if sched != nil {
-			invariant.CheckChaosSchedule(rep, opts.Chaos, opts.Seed, sched)
-		}
-		if opts.Stream != nil {
-			invariant.CheckSketchConservation(rep, opts.Stream, shardTotals, emission)
-		}
-		if err := rep.Err(); err != nil {
-			return nil, fmt.Errorf("ebs: check mode: %w", err)
-		}
+	}
+	if err := s.runTail(opts, ds, sched, streamCfg, sets, ioStats, emission, audits); err != nil {
+		return nil, err
 	}
 	return ds, nil
 }

@@ -10,11 +10,11 @@ import (
 	"ebslab/internal/sketch"
 )
 
-// TestRunShardMergeMatchesRunContext is the fabric's foundation: executing
+// TestRunShardMergeMatchesRun is the fabric's foundation: executing
 // the run as VD-disjoint shards and merging the partials must reproduce the
 // single-process dataset byte for byte, for several shard counts, including
 // the full feature set (check mode, chaos, streaming sketches).
-func TestRunShardMergeMatchesRunContext(t *testing.T) {
+func TestRunShardMergeMatchesRun(t *testing.T) {
 	f := smallFleet(t)
 	mkOpts := func() (Options, *sketch.Set, *chaos.Stats) {
 		stream := sketch.NewSet(sketch.Config{TopK: 8, SegPerVD: 4})
@@ -28,7 +28,7 @@ func TestRunShardMergeMatchesRunContext(t *testing.T) {
 	}
 
 	refOpts, refStream, refStats := mkOpts()
-	ref, err := New(f).RunContext(context.Background(), refOpts)
+	ref, err := New(f).Run(context.Background(), refOpts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@ package ebs
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"ebslab/internal/chaos"
 	"ebslab/internal/cluster"
@@ -85,6 +86,16 @@ type Options struct {
 	Progress func(done, total int)
 }
 
+// prepare is the single validation-and-defaulting gate of every entry
+// point: Run, RunShard, and MergeShards all pass their options through it
+// exactly once before use.
+func (o Options) prepare(f *workload.Fleet) (Options, error) {
+	if err := o.Validate(); err != nil {
+		return o, err
+	}
+	return o.withDefaults(f), nil
+}
+
 // withDefaults fills zero-valued fields from the fleet configuration and
 // package defaults. It assumes the options already passed Validate.
 func (o Options) withDefaults(f *workload.Fleet) Options {
@@ -128,11 +139,20 @@ func (o Options) Validate() error {
 	return nil
 }
 
-// Sim is an end-to-end EBS simulation over one generated fleet.
+// Sim is an end-to-end EBS simulation over one generated fleet. Run-
+// invariant derived state — the QP worker-thread table, the compiled
+// default latency table, the dataset spec tables — is computed once and
+// shared across runs.
 type Sim struct {
 	fleet    *workload.Fleet
 	bindings []*hypervisor.Binding // per compute node
 	model    *latency.Model
+	table    *latency.Table // model, compiled
+	wtOf     []int8         // QP -> hypervisor worker thread, dense by QPID
+
+	specOnce sync.Once
+	vdSpecs  []trace.VDSpec
+	vmSpecs  []trace.VMSpec
 }
 
 // New builds a simulator over the fleet with production (round-robin)
@@ -142,16 +162,63 @@ func New(f *workload.Fleet) *Sim {
 	for n := range f.Topology.Nodes {
 		s.bindings = append(s.bindings, hypervisor.RoundRobin(f.Topology, cluster.NodeID(n)))
 	}
+	s.table = s.model.Compile()
+	// QP IDs are dense indices (Topology.Validate pins IDs == positions), so
+	// the per-IO worker-thread attribution is a slice lookup.
+	s.wtOf = make([]int8, len(f.Topology.QPs))
+	for _, b := range s.bindings {
+		for i, qp := range b.QPs {
+			s.wtOf[qp] = b.WTOf[i]
+		}
+	}
 	return s
+}
+
+// tableFor returns the compiled latency table of one run: the precompiled
+// default, or a fresh compile of the run's override (compilation is a few
+// hundred nanoseconds; overrides don't merit a cache).
+func (s *Sim) tableFor(opts Options) *latency.Table {
+	if opts.Latency != nil {
+		return opts.Latency.Compile()
+	}
+	return s.table
+}
+
+// specs lazily builds the dataset's VD/VM spec tables. The tables are pure
+// functions of the topology and are shared, read-only, by every dataset the
+// Sim assembles.
+func (s *Sim) specs() ([]trace.VDSpec, []trace.VMSpec) {
+	s.specOnce.Do(func() {
+		top := s.fleet.Topology
+		s.vdSpecs = make([]trace.VDSpec, 0, len(top.VDs))
+		for i := range top.VDs {
+			vd := &top.VDs[i]
+			s.vdSpecs = append(s.vdSpecs, trace.VDSpec{
+				VD: vd.ID, Capacity: vd.Capacity,
+				ThroughputCap: vd.ThroughputCap, IOPSCap: vd.IOPSCap,
+				NumQPs: len(vd.QPs),
+			})
+		}
+		s.vmSpecs = make([]trace.VMSpec, 0, len(top.VMs))
+		for i := range top.VMs {
+			vm := &top.VMs[i]
+			s.vmSpecs = append(s.vmSpecs, trace.VMSpec{
+				VM: vm.ID, Node: vm.Node, App: vm.App, VDs: vm.VDs,
+			})
+		}
+	})
+	return s.vdSpecs, s.vmSpecs
 }
 
 // Binding returns the QP binding of one compute node (for inspection).
 func (s *Sim) Binding(n cluster.NodeID) *hypervisor.Binding { return s.bindings[n] }
 
-// Run simulates the fleet's IO for the window and returns the collected
-// datasets. It is RunContext without cancellation.
-func (s *Sim) Run(opts Options) (*trace.Dataset, error) {
-	return s.RunContext(context.Background(), opts)
+// RunContext is the former name of Run, kept for callers that predate the
+// unified batch-first API.
+//
+// Deprecated: call Run, which now takes the context directly.
+func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, error) {
+	return s.Run(ctx, opts)
 }
 
 // scaleRows compensates metric rows for event thinning so reported rates

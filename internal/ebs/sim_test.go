@@ -1,6 +1,7 @@
 package ebs
 
 import (
+	"context"
 	"testing"
 
 	"ebslab/internal/cluster"
@@ -27,7 +28,7 @@ func smallFleet(t *testing.T) *workload.Fleet {
 func TestRunProducesConsistentDataset(t *testing.T) {
 	f := smallFleet(t)
 	sim := New(f)
-	ds, err := sim.Run(Options{DurationSec: 10, TraceSampleEvery: 1, EventSampleEvery: 4, MaxVDs: 12})
+	ds, err := sim.Run(context.Background(), Options{DurationSec: 10, TraceSampleEvery: 1, EventSampleEvery: 4, MaxVDs: 12})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -70,11 +71,11 @@ func TestRunProducesConsistentDataset(t *testing.T) {
 
 func TestRunDeterministicTraceCount(t *testing.T) {
 	f := smallFleet(t)
-	a, err := New(f).Run(Options{DurationSec: 6, TraceSampleEvery: 1, EventSampleEvery: 8, MaxVDs: 6})
+	a, err := New(f).Run(context.Background(), Options{DurationSec: 6, TraceSampleEvery: 1, EventSampleEvery: 8, MaxVDs: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := New(f).Run(Options{DurationSec: 6, TraceSampleEvery: 1, EventSampleEvery: 8, MaxVDs: 6})
+	b, err := New(f).Run(context.Background(), Options{DurationSec: 6, TraceSampleEvery: 1, EventSampleEvery: 8, MaxVDs: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,11 +91,11 @@ func TestRunDeterministicTraceCount(t *testing.T) {
 
 func TestEventSamplingScalesMetrics(t *testing.T) {
 	f := smallFleet(t)
-	full, err := New(f).Run(Options{DurationSec: 6, TraceSampleEvery: 1, EventSampleEvery: 1, MaxVDs: 4})
+	full, err := New(f).Run(context.Background(), Options{DurationSec: 6, TraceSampleEvery: 1, EventSampleEvery: 1, MaxVDs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	thin, err := New(f).Run(Options{DurationSec: 6, TraceSampleEvery: 1, EventSampleEvery: 8, MaxVDs: 4})
+	thin, err := New(f).Run(context.Background(), Options{DurationSec: 6, TraceSampleEvery: 1, EventSampleEvery: 8, MaxVDs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,11 +122,11 @@ func TestThrottleAddsQueueDelay(t *testing.T) {
 	f.Topology.VDs[0].ThroughputCap = 1
 	f.Topology.VDs[0].IOPSCap = 1
 
-	with, err := New(f).Run(Options{DurationSec: 6, TraceSampleEvery: 1, MaxVDs: 1})
+	with, err := New(f).Run(context.Background(), Options{DurationSec: 6, TraceSampleEvery: 1, MaxVDs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := New(f).Run(Options{DurationSec: 6, TraceSampleEvery: 1, MaxVDs: 1, DisableThrottle: true})
+	without, err := New(f).Run(context.Background(), Options{DurationSec: 6, TraceSampleEvery: 1, MaxVDs: 1, DisableThrottle: true})
 	if err != nil {
 		t.Fatal(err)
 	}

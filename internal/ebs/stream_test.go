@@ -16,7 +16,7 @@ func streamRun(t *testing.T, s *Sim, opts Options) *sketch.Set {
 	t.Helper()
 	set := sketch.NewSet(sketch.Config{})
 	opts.Stream = set
-	if _, err := s.RunContext(context.Background(), opts); err != nil {
+	if _, err := s.Run(context.Background(), opts); err != nil {
 		t.Fatalf("streamed run: %v", err)
 	}
 	return set
@@ -39,7 +39,7 @@ func TestStreamWorkerCountInvariance(t *testing.T) {
 			rep := &invariant.Report{}
 			invariant.CheckSketchDeterminism(rep, func(workers int) (*sketch.Set, error) {
 				set := sketch.NewSet(sketch.Config{})
-				_, err := s.RunContext(context.Background(), Options{
+				_, err := s.Run(context.Background(), Options{
 					DurationSec: 8, TraceSampleEvery: 4, EventSampleEvery: 2,
 					MaxVDs: 16, Workers: workers, Chaos: plan, Stream: set,
 				})
@@ -76,7 +76,7 @@ func TestStreamIndependentOfTraceSampling(t *testing.T) {
 func TestStreamConservationUnderCheck(t *testing.T) {
 	f := smallFleet(t)
 	set := sketch.NewSet(sketch.Config{})
-	ds, err := New(f).RunContext(context.Background(), Options{
+	ds, err := New(f).Run(context.Background(), Options{
 		DurationSec: 6, TraceSampleEvery: 2, EventSampleEvery: 2,
 		MaxVDs: 12, Workers: 3, Check: true, Stream: set,
 	})
@@ -107,7 +107,7 @@ func relErr(got, want float64) float64 {
 func TestSketchAccuracySmoke(t *testing.T) {
 	f := smallFleet(t)
 	set := sketch.NewSet(sketch.Config{})
-	ds, err := New(f).RunContext(context.Background(), Options{
+	ds, err := New(f).Run(context.Background(), Options{
 		DurationSec: 10, TraceSampleEvery: 1, EventSampleEvery: 1,
 		MaxVDs: 24, Workers: 4, Stream: set,
 	})
@@ -120,9 +120,9 @@ func TestSketchAccuracySmoke(t *testing.T) {
 	// Counting metrics are exact by construction: integer sketch counters
 	// against integer-valued float row sums.
 	for _, c := range []struct {
-		name       string
-		got, want  float64
-		bound      float64
+		name      string
+		got, want float64
+		bound     float64
 	}{
 		{"CCR1", got.CCR1, exact.CCR1, 1e-9},
 		{"CCR10", got.CCR10, exact.CCR10, 1e-9},

@@ -27,7 +27,7 @@ type Config struct {
 	Fleet workload.Config
 	// Opts are the run options. Coordinator-side destinations (Stream,
 	// ChaosStats) are honored: the merged run fills them exactly like
-	// ebs.RunContext would. Progress and Latency do not cross the wire.
+	// ebs.Sim.Run would. Progress and Latency do not cross the wire.
 	Opts ebs.Options
 	// Shards is how many shards to plan (0 = 4; more shards than workers
 	// keeps the fleet busy when shard runtimes are uneven).

@@ -42,7 +42,7 @@ func baseline(t *testing.T) (string, string) {
 		t.Fatal(err)
 	}
 	stream := sketch.NewSet(sketch.Config{TopK: 8, SegPerVD: 4})
-	ds, err := ebs.New(fleet).Run(testOpts(stream))
+	ds, err := ebs.New(fleet).Run(context.Background(), testOpts(stream))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"ebslab/internal/chaos"
 	"ebslab/internal/cluster"
@@ -323,9 +324,24 @@ func readMetricRow(r *wireReader) trace.MetricRow {
 	return row
 }
 
+// framePool recycles shard-result frame buffers. netblock.Client.Call is
+// synchronous — the frame is fully written before Call returns — so a worker
+// can hand the buffer back as soon as the upload call completes.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
 // encodeResult frames one shard result for the wire.
 func encodeResult(workerID uint64, shardID int, p *ebs.ShardPartial) []byte {
-	w := &wireWriter{b: make([]byte, 0, 16+len(p.Records)*recordWire+(len(p.Compute)+len(p.Storage))*metricRowWire)}
+	return encodeResultInto(nil, workerID, shardID, p)
+}
+
+// encodeResultInto is encodeResult appending into buf (grown as needed),
+// letting callers reuse frame memory across shards.
+func encodeResultInto(buf []byte, workerID uint64, shardID int, p *ebs.ShardPartial) []byte {
+	need := 16 + len(p.Records)*recordWire + (len(p.Compute)+len(p.Storage))*metricRowWire
+	if cap(buf) < need {
+		buf = make([]byte, 0, need)
+	}
+	w := &wireWriter{b: buf[:0]}
 	w.u64(workerID)
 	w.u32(uint32(shardID))
 	w.u32(uint32(p.Lo))

@@ -124,12 +124,19 @@ func RunWorker(ctx context.Context, wc WorkerConfig) error {
 					return err // simulated crash: vanish without uploading
 				}
 			}
-			frame := encodeResult(join.WorkerID, a.Shard, p)
+			// Frame buffers come from a pool: Call is synchronous, so the
+			// buffer is free for the next shard the moment the upload returns.
+			frameBuf := framePool.Get().(*[]byte)
+			frame := encodeResultInto(*frameBuf, join.WorkerID, a.Shard, p)
+			*frameBuf = frame
 			if len(frame) > netblock.MaxShardResultPayload {
+				framePool.Put(frameBuf)
 				return fmt.Errorf("fabric: shard %d result is %d bytes, over the %d-byte wire cap: rerun with more shards (fewer VDs per shard)",
 					a.Shard, len(frame), netblock.MaxShardResultPayload)
 			}
-			if _, err := cl.Call(netblock.OpShardResult, frame); err != nil {
+			_, err = cl.Call(netblock.OpShardResult, frame)
+			framePool.Put(frameBuf)
+			if err != nil {
 				return fmt.Errorf("fabric: upload shard %d: %w", a.Shard, err)
 			}
 			// An orderly drain completes the current shard first — which just

@@ -170,11 +170,20 @@ func mergeInOrder(perVD [][]trace.Record, order []int, shardsN int) *diting.Trac
 	for i := range shards {
 		shards[i] = diting.New(1)
 	}
+	// Ingest via the columnar batch path with a tiny capacity, so every VD
+	// crosses several flush boundaries — exactly the engine's EmitBatch shape.
+	batch := trace.NewBatch(7)
 	for i, vd := range order {
 		sh := shards[i%shardsN]
-		for _, rec := range perVD[vd] {
-			sh.Observe(rec)
+		for j := range perVD[vd] {
+			if batch.Full() {
+				sh.EmitBatch(batch)
+				batch.Reset()
+			}
+			batch.Append(&perVD[vd][j])
 		}
+		sh.EmitBatch(batch)
+		batch.Reset()
 	}
 	return diting.Merge(1, shards...)
 }

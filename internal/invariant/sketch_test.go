@@ -12,12 +12,16 @@ import (
 
 // sketchShards ingests a tiny record stream split across n per-shard sets
 // (round-robin by VD, mirroring the engine's disjoint-VD dealing) and
-// returns the shards, their totals, and the merged set.
+// returns the shards, their totals, and the merged set. Ingest goes through
+// the columnar batch path — the one the engine uses — with a deliberately
+// tiny batch capacity to force mid-stream flushes.
 func sketchShards(n int) ([]*sketch.Set, []sketch.Totals, *sketch.Set) {
 	cfg := sketch.Config{DurationSec: 4, TputCapSum: 1e9}
 	shards := make([]*sketch.Set, n)
+	batches := make([]*trace.Batch, n)
 	for i := range shards {
 		shards[i] = sketch.NewSet(cfg)
+		batches[i] = trace.NewBatch(5)
 	}
 	for i := 0; i < 64; i++ {
 		rec := trace.Record{
@@ -28,7 +32,15 @@ func sketchShards(n int) ([]*sketch.Set, []sketch.Totals, *sketch.Set) {
 			TimeUS: int64(i%4) * 1_000_000,
 		}
 		rec.Latency[trace.StageComputeNode] = float32(100 + i)
-		shards[(i%8)%n].Observe(&rec)
+		sh := (i % 8) % n
+		if batches[sh].Full() {
+			shards[sh].ObserveBatch(batches[sh])
+			batches[sh].Reset()
+		}
+		batches[sh].Append(&rec)
+	}
+	for i := range shards {
+		shards[i].ObserveBatch(batches[i])
 	}
 	merged := sketch.NewSet(cfg)
 	var totals []sketch.Totals

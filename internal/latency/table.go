@@ -1,0 +1,82 @@
+package latency
+
+import (
+	"math"
+	"math/rand"
+
+	"ebslab/internal/trace"
+)
+
+// tableStage holds one stage's parameters pre-folded into the exact
+// constants the sampling loop consumes, so the per-IO path performs no
+// derived arithmetic:
+//
+//   - perByteUS = PerMiBUS / 2^20: division by a power of two is exact, so
+//     perByteUS*size rounds identically to PerMiBUS*(size/2^20);
+//   - halfSigmaSq = sigma^2/2, the lognormal mean correction;
+//   - invTailAlpha = 1/TailAlpha, the Pareto inverse-CDF exponent.
+//
+// Each is the same float64 the uncompiled Sample computes per IO, so the
+// compiled path is bit-identical.
+type tableStage struct {
+	baseUS       float64
+	perByteUS    float64
+	sigma        float64
+	halfSigmaSq  float64
+	tailProb     float64
+	tailScaleUS  float64
+	invTailAlpha float64
+}
+
+// Table is a latency model compiled for the uncached hot path: per-(op,
+// stage) constants laid out for branch-light sequential sampling. Compile
+// once per run; SampleInto draws are bit-identical to
+// Model.Sample(rng, op, size, NoCache, false).
+type Table struct {
+	stages [2][trace.NumStages]tableStage // [op][stage]
+}
+
+// Compile folds the model's per-stage parameters into a sampling table.
+func (m *Model) Compile() *Table {
+	t := &Table{}
+	for op, params := range [2]*[trace.NumStages]StageParams{&m.Read, &m.Write} {
+		for s := 0; s < int(trace.NumStages); s++ {
+			p := params[s]
+			t.stages[op][s] = tableStage{
+				baseUS:       p.BaseUS,
+				perByteUS:    p.PerMiBUS / float64(1<<20),
+				sigma:        p.JitterSigma,
+				halfSigmaSq:  p.JitterSigma * p.JitterSigma / 2,
+				tailProb:     p.TailProb,
+				tailScaleUS:  p.TailScaleUS,
+				invTailAlpha: 1 / p.TailAlpha,
+			}
+		}
+	}
+	return t
+}
+
+// SampleInto draws the five per-stage latencies of one uncached IO into
+// out, consuming the same rng stream — and producing the same bits — as
+// Model.Sample(rng, op, size, NoCache, false). Cache studies keep using
+// Model.Sample; the simulation hot path uses this.
+func (t *Table) SampleInto(rng *rand.Rand, op trace.Op, size int32, out *[trace.NumStages]float32) {
+	ps := &t.stages[0]
+	if op == trace.OpWrite {
+		ps = &t.stages[1]
+	}
+	fsize := float64(size)
+	for s := 0; s < int(trace.NumStages); s++ {
+		p := &ps[s]
+		v := p.baseUS + p.perByteUS*fsize
+		v *= math.Exp(p.sigma*rng.NormFloat64() - p.halfSigmaSq)
+		if p.tailProb > 0 && rng.Float64() < p.tailProb {
+			u := rng.Float64()
+			if u >= 1 {
+				u = math.Nextafter(1, 0)
+			}
+			v += p.tailScaleUS / math.Pow(1-u, p.invTailAlpha)
+		}
+		out[s] = float32(v)
+	}
+}

@@ -1,0 +1,58 @@
+package latency
+
+import (
+	"math/rand"
+	"testing"
+
+	"ebslab/internal/trace"
+)
+
+// TestTableBitIdentical drives Model.Sample and Table.SampleInto with twin
+// rng streams over the default model and randomized models, requiring
+// bit-identical stage vectors (the engine's golden fixtures depend on it).
+func TestTableBitIdentical(t *testing.T) {
+	models := []*Model{Default()}
+	mrng := rand.New(rand.NewSource(99))
+	for k := 0; k < 8; k++ {
+		m := &Model{}
+		for s := 0; s < int(trace.NumStages); s++ {
+			randomize := func() StageParams {
+				p := StageParams{
+					BaseUS:      mrng.Float64() * 200,
+					PerMiBUS:    mrng.Float64() * 500,
+					JitterSigma: mrng.Float64() * 0.6,
+					TailScaleUS: mrng.Float64() * 800,
+					TailAlpha:   0.8 + mrng.Float64()*2,
+				}
+				if mrng.Intn(3) > 0 { // include TailProb==0 (no tail draw at all)
+					p.TailProb = mrng.Float64() * 0.02
+				}
+				return p
+			}
+			m.Read[s] = randomize()
+			m.Write[s] = randomize()
+		}
+		models = append(models, m)
+	}
+
+	for mi, m := range models {
+		tab := m.Compile()
+		seed := int64(1000 + mi)
+		a := rand.New(rand.NewSource(seed))
+		b := rand.New(rand.NewSource(seed))
+		for i := 0; i < 20000; i++ {
+			op := trace.Op(i % 2)
+			size := int32((i*4096 + 4096) % (4 << 20))
+			want := m.Sample(a, op, size, NoCache, false)
+			var got [trace.NumStages]float32
+			tab.SampleInto(b, op, size, &got)
+			if got != want {
+				t.Fatalf("model %d draw %d (op %v size %d): %v != %v", mi, i, op, size, got, want)
+			}
+		}
+		// The streams must stay in lockstep, too.
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("model %d: rng streams diverged", mi)
+		}
+	}
+}

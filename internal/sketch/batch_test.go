@@ -1,0 +1,117 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+
+	"ebslab/internal/cluster"
+	"ebslab/internal/trace"
+)
+
+// synthBatchRecords builds an engine-shaped stream: per-VD runs of records
+// in time order.
+func synthBatchRecords(seed int64, nVDs, perVD int) []trace.Record {
+	rng := rand.New(rand.NewSource(seed))
+	var out []trace.Record
+	for vd := 0; vd < nVDs; vd++ {
+		timeUS := int64(0)
+		for i := 0; i < perVD; i++ {
+			timeUS += int64(rng.Intn(30_000))
+			rec := trace.Record{
+				TraceID: uint64(vd+1)<<40 + uint64(i+1),
+				TimeUS:  timeUS,
+				Op:      trace.Op(rng.Intn(2)),
+				Size:    int32((rng.Intn(64) + 1) * 4096),
+				Offset:  rng.Int63n(1 << 32),
+				VD:      cluster.VDID(vd),
+				Segment: cluster.SegmentID(vd*16 + rng.Intn(16)),
+			}
+			for st := range rec.Latency {
+				rec.Latency[st] = float32(rng.Float64() * 800)
+			}
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// TestObserveBatchEquivalence requires identical fingerprints from the
+// batched and record-at-a-time ingest paths, across batch capacities that
+// force flush boundaries inside and across VD runs.
+func TestObserveBatchEquivalence(t *testing.T) {
+	recs := synthBatchRecords(5, 7, 400)
+	cfg := Config{TopK: 8, SegPerVD: 4, DurationSec: 16}
+
+	want := NewSet(cfg)
+	for i := range recs {
+		want.Observe(&recs[i])
+	}
+	wantFP := want.Fingerprint()
+
+	for _, capacity := range []int{1, 5, 256, trace.DefaultBatchCap} {
+		got := NewSet(cfg)
+		b := trace.GetBatch(capacity)
+		for i := range recs {
+			b.Append(&recs[i])
+			if b.Full() {
+				got.ObserveBatch(b)
+				b.Reset()
+			}
+		}
+		got.ObserveBatch(b)
+		b.Release()
+		if fp := got.Fingerprint(); fp != wantFP {
+			t.Fatalf("cap %d: fingerprint %s != record-at-a-time %s", capacity, fp, wantFP)
+		}
+		if got.Totals() != want.Totals() {
+			t.Fatalf("cap %d: totals %+v != %+v", capacity, got.Totals(), want.Totals())
+		}
+	}
+}
+
+// TestSketchAddBatch checks the individual sketches' batch adapters against
+// their scalar Adds.
+func TestSketchAddBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]uint64, 5000)
+	ws := make([]uint64, len(keys))
+	vals := make([]float64, len(keys))
+	for i := range keys {
+		keys[i] = rng.Uint64() % 512
+		ws[i] = uint64(rng.Intn(100) + 1)
+		vals[i] = rng.Float64() * 1e6
+	}
+
+	h1, h2 := NewHLL(12), NewHLL(12)
+	h1.AddBatch(keys)
+	for _, k := range keys {
+		h2.Add(k)
+	}
+	if h1.Estimate() != h2.Estimate() {
+		t.Fatal("HLL AddBatch diverged from Add")
+	}
+
+	q1, q2 := NewLogQuantile(0.01), NewLogQuantile(0.01)
+	q1.AddBatch(vals, ws)
+	for i, v := range vals {
+		q2.Add(v, ws[i])
+	}
+	if q1.Quantile(0.5) != q2.Quantile(0.5) || q1.Count() != q2.Count() {
+		t.Fatal("LogQuantile AddBatch diverged from Add")
+	}
+
+	s1, s2 := NewSpaceSaving(16), NewSpaceSaving(16)
+	s1.AddBatch(keys, ws)
+	for i, k := range keys {
+		s2.Add(k, ws[i])
+	}
+	e1, e2 := s1.Entries(), s2.Entries()
+	if len(e1) != len(e2) {
+		t.Fatal("SpaceSaving AddBatch diverged from Add")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("SpaceSaving entry %d: %+v != %+v", i, e1[i], e2[i])
+		}
+	}
+}

@@ -123,21 +123,44 @@ func blockKey(vd uint64, offset int64) uint64 {
 	return (vd+1)*0x9e3779b97f4a7c15 ^ uint64(offset>>12)
 }
 
-// Observe ingests one completed IO. The record's latency must be final
-// (queue delay and fault penalties applied), since the latency sketch sees
-// it here.
-func (s *Set) Observe(rec *trace.Record) {
-	size := uint64(rec.Size)
-	s.totals.IOs++
-	s.totals.Bytes += size
-
-	vd := uint64(rec.VD)
+// vdCount returns (creating on first touch) the exact directional counter
+// of one virtual disk.
+func (s *Set) vdCount(vd uint64) *dirCount {
 	dc := s.vds[vd]
 	if dc == nil {
 		dc = &dirCount{}
 		s.vds[vd] = dc
 	}
-	read := rec.Op == trace.OpRead
+	return dc
+}
+
+// vdSegHot returns (creating on first touch) the segment heavy-hitter
+// summary of one virtual disk.
+func (s *Set) vdSegHot(vd uint64) *SpaceSaving {
+	ss := s.segHot[vd]
+	if ss == nil {
+		ss = NewSpaceSaving(s.cfg.SegPerVD)
+		s.segHot[vd] = ss
+	}
+	return ss
+}
+
+// Observe ingests one completed IO: the record-at-a-time wrapper over the
+// same ingest the batched ObserveBatch path performs. The record's latency
+// must be final (queue delay and fault penalties applied), since the
+// latency sketch sees it here.
+func (s *Set) Observe(rec *trace.Record) {
+	vd := uint64(rec.VD)
+	s.ingest(s.vdCount(vd), s.vdSegHot(vd), vd, rec.Op == trace.OpRead,
+		rec.Size, rec.TimeUS, rec.Offset, uint64(rec.Segment), rec.TotalLatency())
+}
+
+// ingest folds one IO into every summary; dc and ss are the per-VD states
+// of vd (hoisted by ObserveBatch across same-VD runs).
+func (s *Set) ingest(dc *dirCount, ss *SpaceSaving, vd uint64, read bool, size32 int32, timeUS, offset int64, seg uint64, totalLat float64) {
+	size := uint64(size32)
+	s.totals.IOs++
+	s.totals.Bytes += size
 	if read {
 		dc.readBytes += size
 		dc.readOps++
@@ -145,19 +168,12 @@ func (s *Set) Observe(rec *trace.Record) {
 		dc.writeBytes += size
 		dc.writeOps++
 	}
-
-	ss := s.segHot[vd]
-	if ss == nil {
-		ss = NewSpaceSaving(s.cfg.SegPerVD)
-		s.segHot[vd] = ss
-	}
-	ss.Add(uint64(rec.Segment), size)
-
-	s.rate.Add(int(rec.TimeUS/1_000_000), read, size)
-	s.lat.Add(rec.TotalLatency(), 1)
-	s.sizes.Add(float64(rec.Size), 1)
-	s.blocks.Add(blockKey(vd, rec.Offset))
-	s.segs.Add(uint64(rec.Segment))
+	ss.Add(seg, size)
+	s.rate.Add(int(timeUS/1_000_000), read, size)
+	s.lat.Add(totalLat, 1)
+	s.sizes.Add(float64(size32), 1)
+	s.blocks.Add(blockKey(vd, offset))
+	s.segs.Add(seg)
 }
 
 // Merge folds o (built with the same Config) into s. o must not be used

@@ -93,7 +93,68 @@ type Result struct {
 // drains in later seconds, so a burst's throttle outlasts the burst itself
 // (the latency-spike behaviour Calcspar reported on AWS EBS).
 func Simulate(caps []Caps, demand [][]Demand) Result {
-	return simulate(caps, demand, nil, nil, nil)
+	return simulate(caps, demand, nil, nil, nil, nil)
+}
+
+// Scratch holds the working buffers of a throttle replay so repeated
+// simulations (the engine replays one per virtual disk per run) allocate
+// nothing in steady state. The zero value is ready to use. A Scratch is not
+// safe for concurrent use, and the Result returned by its Simulate aliases
+// its buffers: it is valid only until the next call on the same Scratch.
+type Scratch struct {
+	throttledSecs []int
+	deliveredBps  []float64
+	queueDelay    [][]float64
+	queueDelayBuf []float64
+	events        []Event
+	backlogB      []float64
+	backlogOps    []float64
+	eff           []Caps
+	lent          []bool
+	isDown        []bool
+}
+
+// Simulate is Simulate reusing the scratch buffers: identical arithmetic,
+// identical Result values, zero steady-state allocation. The Result is
+// valid until the next call on this Scratch.
+func (sc *Scratch) Simulate(caps []Caps, demand [][]Demand) Result {
+	return simulate(caps, demand, nil, nil, nil, sc)
+}
+
+// intsFor returns a zeroed length-n int slice, reusing buf's capacity.
+func intsFor(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// f64For returns a zeroed length-n float64 slice, reusing buf's capacity.
+func f64For(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// boolFor returns a zeroed length-n bool slice, reusing buf's capacity.
+func boolFor(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
 }
 
 // SimulateAudited is Simulate with the conservation audit enabled: every
@@ -104,7 +165,7 @@ func Simulate(caps []Caps, demand [][]Demand) Result {
 // means every law held.
 func SimulateAudited(caps []Caps, demand [][]Demand) (Result, []string) {
 	a := &auditLog{}
-	res := simulate(caps, demand, nil, nil, a)
+	res := simulate(caps, demand, nil, nil, a, nil)
 	return res, a.msgs
 }
 
@@ -120,7 +181,7 @@ func SimulateWithLendingAudited(caps []Caps, demand [][]Demand, lend Lending) (R
 		lend.PeriodSec = 60
 	}
 	a := &auditLog{}
-	res := simulate(caps, demand, &lend, nil, a)
+	res := simulate(caps, demand, &lend, nil, a, nil)
 	return res, a.msgs
 }
 
@@ -140,7 +201,7 @@ func SimulateWithLendingOutages(caps []Caps, demand [][]Demand, lend Lending, do
 		lend.PeriodSec = 60
 	}
 	a := &auditLog{}
-	res := simulate(caps, demand, &lend, down, a)
+	res := simulate(caps, demand, &lend, down, a, nil)
 	return res, a.msgs
 }
 
@@ -210,8 +271,9 @@ func (a *auditLog) checkDelivery(t, vd int, deliveredB, deliveredOps float64, ef
 }
 
 // simulate optionally applies a lending policy, a crash schedule (down
-// state per (second, VD)), and an audit; any of them may be nil.
-func simulate(caps []Caps, demand [][]Demand, lend *Lending, down func(t, vd int) bool, audit *auditLog) Result {
+// state per (second, VD)), an audit, and a scratch buffer set; any of them
+// may be nil. With a scratch, the returned slices alias its buffers.
+func simulate(caps []Caps, demand [][]Demand, lend *Lending, down func(t, vd int) bool, audit *auditLog, sc *Scratch) Result {
 	n := len(caps)
 	if len(demand) != n {
 		panic("throttle: demand rows must match caps")
@@ -220,22 +282,45 @@ func simulate(caps []Caps, demand [][]Demand, lend *Lending, down func(t, vd int
 	if n > 0 {
 		dur = len(demand[0])
 	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.throttledSecs = intsFor(sc.throttledSecs, n)
+	sc.deliveredBps = f64For(sc.deliveredBps, n)
+	// Queue-delay rows are fully overwritten (every (vd, t) cell is assigned
+	// each second), so the flat backing buffer is reused without zeroing.
+	if cap(sc.queueDelay) < n {
+		sc.queueDelay = make([][]float64, n)
+	}
+	sc.queueDelay = sc.queueDelay[:n]
+	if cap(sc.queueDelayBuf) < n*dur {
+		sc.queueDelayBuf = make([]float64, n*dur)
+	}
+	flat := sc.queueDelayBuf[:n*dur]
+	for vd := range sc.queueDelay {
+		sc.queueDelay[vd] = flat[vd*dur : (vd+1)*dur : (vd+1)*dur]
+	}
 	res := Result{
-		ThrottledSecs: make([]int, n),
-		DeliveredBps:  make([]float64, n),
-		QueueDelaySec: make([][]float64, n),
+		ThrottledSecs: sc.throttledSecs,
+		DeliveredBps:  sc.deliveredBps,
+		QueueDelaySec: sc.queueDelay,
+		Events:        sc.events[:0],
 	}
-	for vd := range res.QueueDelaySec {
-		res.QueueDelaySec[vd] = make([]float64, dur)
-	}
-	backlogB := make([]float64, n)
-	backlogOps := make([]float64, n)
+	backlogB := f64For(sc.backlogB, n)
+	backlogOps := f64For(sc.backlogOps, n)
+	sc.backlogB, sc.backlogOps = backlogB, backlogOps
 
 	// Effective caps, mutated by lending within a period and reset at period
 	// boundaries.
-	eff := append([]Caps(nil), caps...)
-	lentThisPeriod := make([]bool, n)
-	isDown := make([]bool, n)
+	if cap(sc.eff) < n {
+		sc.eff = make([]Caps, n)
+	}
+	eff := sc.eff[:n]
+	copy(eff, caps)
+	sc.eff = eff
+	lentThisPeriod := boolFor(sc.lent, n)
+	isDown := boolFor(sc.isDown, n)
+	sc.lent, sc.isDown = lentThisPeriod, isDown
 
 	var sumCapT, sumCapI float64
 	for _, c := range caps {
@@ -377,6 +462,7 @@ func simulate(caps []Caps, demand [][]Demand, lend *Lending, down func(t, vd int
 			audit.addf("(%d further violations suppressed)", audit.dropped)
 		}
 	}
+	sc.events = res.Events // retain grown capacity across scratch reuses
 	return res
 }
 

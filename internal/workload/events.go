@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"sync"
 
 	"ebslab/internal/cluster"
 	"ebslab/internal/trace"
@@ -19,6 +20,12 @@ type Event struct {
 // sectorSize is the alignment quantum of generated IOs.
 const sectorSize = 4 << 10
 
+// coldZipfS is the Zipf exponent of the cold-region popularity ranking.
+const coldZipfS = 1.2
+
+// permPool recycles region-permutation buffers across genEvents calls.
+var permPool = sync.Pool{New: func() any { b := make([]int, 0, 64); return &b }}
+
 // maxEventsPerSec caps post-sampling event generation during extreme bursts
 // so pathological configurations cannot hang a simulation.
 const maxEventsPerSec = 1 << 20
@@ -35,7 +42,7 @@ const maxEventsPerSec = 1 << 20
 // (HotReadFrac), and cold IOs spread over Zipf-weighted regions of the
 // remaining address space.
 func (f *Fleet) GenEvents(vd cluster.VDID, durSec, sampleEvery int, fn func(Event)) {
-	f.genEvents(vd, durSec, sampleEvery, false, nil, fn)
+	f.genEvents(vd, durSec, sampleEvery, false, nil, nil, fn)
 }
 
 // GenEventsBoosted is GenEvents with a per-second demand multiplier: second
@@ -44,7 +51,17 @@ func (f *Fleet) GenEvents(vd cluster.VDID, durSec, sampleEvery int, fn func(Even
 // always returns 1) reproduces GenEvents bit-exactly — the multiplier
 // feeds the same Bernoulli draw, consuming the same RNG stream.
 func (f *Fleet) GenEventsBoosted(vd cluster.VDID, durSec, sampleEvery int, boost func(sec int) float64, fn func(Event)) {
-	f.genEvents(vd, durSec, sampleEvery, false, boost, fn)
+	f.genEvents(vd, durSec, sampleEvery, false, nil, boost, fn)
+}
+
+// GenEventsBoostedOver is GenEventsBoosted consuming a caller-supplied VD
+// series (as returned by VDSeries/VDSeriesInto for the same vd and durSec)
+// instead of regenerating it. The traffic series and the event stream draw
+// from independent RNG streams, so the output is bit-identical; passing the
+// series the engine already generated for throttling halves the series work
+// per disk.
+func (f *Fleet) GenEventsBoostedOver(vd cluster.VDID, series []Sample, sampleEvery int, boost func(sec int) float64, fn func(Event)) {
+	f.genEvents(vd, len(series), sampleEvery, false, series, boost, fn)
 }
 
 // GenAppEvents synthesizes the *application-level* stream of vd: the IOs as
@@ -53,21 +70,33 @@ func (f *Fleet) GenEventsBoosted(vd cluster.VDID, durSec, sampleEvery int, boost
 // Feed this through guestcache.Filter to regenerate an EBS-visible stream
 // from first principles.
 func (f *Fleet) GenAppEvents(vd cluster.VDID, durSec, sampleEvery int, fn func(Event)) {
-	f.genEvents(vd, durSec, sampleEvery, true, nil, fn)
+	f.genEvents(vd, durSec, sampleEvery, true, nil, nil, fn)
 }
 
-func (f *Fleet) genEvents(vd cluster.VDID, durSec, sampleEvery int, appLevel bool, boost func(sec int) float64, fn func(Event)) {
+func (f *Fleet) genEvents(vd cluster.VDID, durSec, sampleEvery int, appLevel bool, series []Sample, boost func(sec int) float64, fn func(Event)) {
 	if sampleEvery < 1 {
 		sampleEvery = 1
 	}
 	d := &f.Topology.VDs[vd]
 	m := &f.Models[vd]
-	series := f.VDSeries(vd, durSec)
-	rng := newRand(f.Cfg.Seed, tagEvents, uint64(vd))
+	if series == nil {
+		series = f.VDSeries(vd, durSec)
+	}
+	h := acquireRand(f.Cfg.Seed, tagEvents, uint64(vd))
+	defer h.Release()
+	rng := h.Rand
 
-	coldW := zipfWeights(m.ColdZipfBlocks, 1.2)
+	// Weight totals are hoisted out of the per-IO loop; sumWeights accumulates
+	// in pickWeighted's exact order, so every draw is bit-identical.
+	coldW := f.coldZipfWeights(m.ColdZipfBlocks)
+	coldWTotal := sumWeights(coldW)
+	qpWReadTotal := sumWeights(m.QPWeightsRead)
+	qpWWriteTotal := sumWeights(m.QPWeightsWrite)
 	// Shuffle region ranks so the hot cold-region is not always region 0.
-	perm := rng.Perm(m.ColdZipfBlocks)
+	permBuf := permPool.Get().(*[]int)
+	defer permPool.Put(permBuf)
+	perm := permInto(rng, m.ColdZipfBlocks, *permBuf)
+	*permBuf = perm
 	regionLen := d.Capacity / int64(m.ColdZipfBlocks)
 	if regionLen < sectorSize {
 		regionLen = sectorSize
@@ -114,13 +143,13 @@ func (f *Fleet) genEvents(vd cluster.VDID, durSec, sampleEvery int, appLevel boo
 			ev.TimeUS = int64(float64(t)*1e6 + float64(k)*gapUS)
 
 			meanSize := m.ReadIOSize
-			qpW := m.QPWeightsRead
+			qpW, qpWTotal := m.QPWeightsRead, qpWReadTotal
 			if ev.Op == trace.OpWrite {
 				meanSize = m.WriteIOSize
-				qpW = m.QPWeightsWrite
+				qpW, qpWTotal = m.QPWeightsWrite, qpWWriteTotal
 			}
 			ev.Size = drawIOSize(rng, meanSize)
-			ev.QP = d.QPs[pickWeighted(rng, qpW)]
+			ev.QP = d.QPs[pickWeightedTotal(rng, qpW, qpWTotal)]
 
 			hotFrac := m.HotAccessFrac
 			if ev.Op == trace.OpRead && !appLevel {
@@ -143,7 +172,7 @@ func (f *Fleet) genEvents(vd cluster.VDID, durSec, sampleEvery int, appLevel boo
 				ev.Offset = recent[rng.Intn(recentN)]
 			} else {
 				// Cold access: Zipf-weighted region, uniform inside.
-				region := perm[pickWeighted(rng, coldW)]
+				region := perm[pickWeightedTotal(rng, coldW, coldWTotal)]
 				base := int64(region) * regionLen
 				span := regionLen - int64(ev.Size)
 				if span < 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"ebslab/internal/cluster"
 )
@@ -23,6 +24,28 @@ type Fleet struct {
 
 	// Models holds one traffic model per VD, indexed by VDID.
 	Models []VDModel
+
+	// Cold-region Zipf weight vectors, lazily built and shared (read-only)
+	// across every disk with the same region count.
+	zipfMu    sync.Mutex
+	zipfCache map[int][]float64
+}
+
+// coldZipfWeights returns the shared rank-ordered Zipf(coldZipfS) weight
+// vector for n cold regions. The returned slice is cached on the Fleet and
+// must be treated as read-only.
+func (f *Fleet) coldZipfWeights(n int) []float64 {
+	f.zipfMu.Lock()
+	defer f.zipfMu.Unlock()
+	if w, ok := f.zipfCache[n]; ok {
+		return w
+	}
+	if f.zipfCache == nil {
+		f.zipfCache = make(map[int][]float64)
+	}
+	w := zipfWeights(n, coldZipfS)
+	f.zipfCache[n] = w
+	return w
 }
 
 // VDModel is the per-virtual-disk traffic model. All rates are bytes/s.

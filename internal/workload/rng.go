@@ -3,6 +3,8 @@ package workload
 import (
 	"math"
 	"math/rand"
+
+	"ebslab/internal/xrand"
 )
 
 // splitmix64 advances and mixes a 64-bit state; it derives independent
@@ -38,6 +40,30 @@ const (
 // newRand builds a *rand.Rand from a derived seed.
 func newRand(master int64, tag, entity uint64) *rand.Rand {
 	return rand.New(rand.NewSource(subSeed(master, tag, entity)))
+}
+
+// acquireRand is newRand through the pooled seed-mirroring source: the
+// returned handle's embedded *rand.Rand produces the identical stream, but
+// acquiring it costs ~100ns and zero allocations instead of a full
+// lagged-Fibonacci reseed. Release the handle when the stream is done.
+func acquireRand(master int64, tag, entity uint64) *xrand.Rand {
+	return xrand.Get(subSeed(master, tag, entity))
+}
+
+// permInto writes rand.Perm(n) into buf (grown if needed), replicating the
+// stdlib draw-for-draw — including the redundant i=0 Intn(1) call — so the
+// RNG stream position after the call is identical.
+func permInto(rng *rand.Rand, n int, buf []int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	m := buf[:n]
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
+	return m
 }
 
 // lognormal draws exp(N(mu, sigma^2)).
@@ -146,10 +172,22 @@ func gammaDraw(rng *rand.Rand, shape float64) float64 {
 // weights (which need not be normalized but must be non-negative with a
 // positive sum).
 func pickWeighted(rng *rand.Rand, weights []float64) int {
+	return pickWeightedTotal(rng, weights, sumWeights(weights))
+}
+
+// sumWeights sums left to right — the exact accumulation pickWeighted
+// performs, so hot loops can hoist the total without changing any draw.
+func sumWeights(weights []float64) float64 {
 	var total float64
 	for _, w := range weights {
 		total += w
 	}
+	return total
+}
+
+// pickWeightedTotal is pickWeighted with the weight total precomputed (it
+// must equal sumWeights(weights) bit for bit).
+func pickWeightedTotal(rng *rand.Rand, weights []float64, total float64) int {
 	x := rng.Float64() * total
 	for i, w := range weights {
 		x -= w

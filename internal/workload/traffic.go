@@ -85,11 +85,22 @@ func boundedParetoF(u, xm, a, hi float64) float64 {
 // seconds. The series is deterministic per (fleet seed, vd) and independent
 // of any other entity's series.
 func (f *Fleet) VDSeries(vd cluster.VDID, durSec int) []Sample {
+	return f.VDSeriesInto(nil, vd, durSec)
+}
+
+// VDSeriesInto is VDSeries writing into buf (grown only if its capacity is
+// short), so per-VD loops can reuse one buffer across the whole fleet.
+func (f *Fleet) VDSeriesInto(buf []Sample, vd cluster.VDID, durSec int) []Sample {
 	m := &f.Models[vd]
-	rng := newRand(f.Cfg.Seed, tagVDSeries, uint64(vd))
+	h := acquireRand(f.Cfg.Seed, tagVDSeries, uint64(vd))
+	defer h.Release()
+	rng := h.Rand
 	rb := burstState{prof: m.ReadBurst}
 	wb := burstState{prof: m.WriteBurst}
-	out := make([]Sample, durSec)
+	if cap(buf) < durSec {
+		buf = make([]Sample, durSec)
+	}
+	out := buf[:durSec]
 	for t := 0; t < durSec; t++ {
 		r := m.MeanReadBps * rb.step(rng)
 		w := m.MeanWriteBps * wb.step(rng)
