@@ -9,7 +9,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test race vet bench bench-gate golden golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke ci
+.PHONY: all build test race vet bench bench-gate golden golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke dist-ha-smoke consensus-race ci
 
 all: build
 
@@ -69,6 +69,7 @@ fuzz-smoke:
 	$(GO) test ./internal/sketch -fuzz FuzzSpaceSavingAddMerge -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sketch -fuzz FuzzLogQuantileMerge -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sketch -fuzz FuzzSetCodec -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/consensus -fuzz FuzzMessageCodec -fuzztime $(FUZZTIME)
 
 # Coverage over the fault-injection surface: the chaos layer itself plus
 # every package it reaches into (RPC substrate, engine, balancer, throttle,
@@ -95,4 +96,17 @@ sketch-accuracy-smoke:
 dist-smoke:
 	$(GO) run ./cmd/ebssim -seed 7 -dur 15 -nodes 4 -max-vds 24 -dist 2 -shards 5 -check -stream
 
-ci: vet race golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke bench-gate
+# High-availability variant: the coordinator is a 3-replica consensus group
+# and the chaos plan kills the acting leader mid-run. A successor must be
+# elected, the workers must fail over through redirects, and the merged
+# dataset must STILL be byte-identical to the single-process run.
+dist-ha-smoke:
+	$(GO) run ./cmd/ebssim -seed 7 -dur 15 -nodes 4 -max-vds 24 -dist 2 -shards 5 -replicas 3 -leader-kill 1 -check
+
+# Focused race-detector pass over the consensus core and the replicated
+# fabric (leader election, log replication, kill-driven failover) without
+# -short, so the full leader-kill golden scenario runs under the detector.
+consensus-race:
+	$(GO) test -race -count=1 ./internal/consensus ./internal/fabric
+
+ci: vet race golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke dist-ha-smoke consensus-race bench-gate

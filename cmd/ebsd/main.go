@@ -13,6 +13,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -21,13 +22,25 @@ import (
 
 func main() {
 	var (
-		join     = flag.String("join", "", "coordinator address to join (host:port), e.g. the ebssim -workers-addr value")
+		join     = flag.String("join", "", "coordinator address(es) to join, comma-separated and indexed by replica ID for a replicated control plane (e.g. the ebssim -workers-addr / -peers values)")
 		waitPoll = flag.Duration("wait-poll", 25*time.Millisecond, "retry interval when no shard is placeable")
 	)
 	flag.Parse()
 	if *join == "" {
 		fmt.Fprintln(os.Stderr, "ebsd: -join is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	var dials []func() (net.Conn, error)
+	for _, addr := range strings.Split(*join, ",") {
+		addr := strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		dials = append(dials, func() (net.Conn, error) { return net.Dial("tcp", addr) })
+	}
+	if len(dials) == 0 {
+		fmt.Fprintln(os.Stderr, "ebsd: -join lists no usable address")
 		os.Exit(2)
 	}
 
@@ -46,7 +59,7 @@ func main() {
 	}()
 
 	err := fabric.RunWorker(ctx, fabric.WorkerConfig{
-		Dial:     func() (net.Conn, error) { return net.Dial("tcp", *join) },
+		Dials:    dials,
 		Drain:    drain,
 		WaitPoll: *waitPoll,
 	})

@@ -11,6 +11,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -42,6 +43,10 @@ func main() {
 		serveAddr   = flag.String("serve", "", "run as fabric worker: join the coordinator at this address and execute shards (all simulation flags are taken from the coordinator)")
 		dist        = flag.Int("dist", 0, "run the fabric in-process over a loopback transport with this many workers and verify the merged dataset against a single-process run")
 		shards      = flag.Int("shards", 0, "fabric shard count (0 = default)")
+		replicas    = flag.Int("replicas", 1, "with -dist: replicate the coordinator control plane across this many consensus-backed replicas")
+		leaderKill  = flag.Int("leader-kill", 0, "with -dist and -replicas >= 2: schedule this many chaos leader kills; the run must still match single-process bit for bit")
+		replicaID   = flag.Int("replica-id", 0, "with -workers-addr and -peers: this coordinator's replica ID")
+		peers       = flag.String("peers", "", "with -workers-addr: comma-separated control-plane addresses of every replica, indexed by replica ID (replicates the coordinator over TCP)")
 
 		chaosOn     = flag.Bool("chaos", false, "inject a deterministic fault schedule (see -crashes, -storms, ...)")
 		chaosSeed   = flag.Int64("chaos-seed", 0, "fault schedule seed (0 = follow -seed)")
@@ -56,6 +61,17 @@ func main() {
 	if *serveAddr != "" {
 		runWorkerRole(*serveAddr)
 		return
+	}
+	if *leaderKill > 0 {
+		if *dist == 0 || *replicas < 2 {
+			fmt.Fprintln(os.Stderr, "ebssim: -leader-kill needs -dist and -replicas >= 2")
+			os.Exit(2)
+		}
+		if *leaderKill > (*replicas-1)/2 {
+			fmt.Fprintf(os.Stderr, "ebssim: a %d-replica control plane survives at most %d leader kills\n",
+				*replicas, (*replicas-1)/2)
+			os.Exit(2)
+		}
 	}
 
 	cfg := workload.DefaultConfig()
@@ -110,9 +126,9 @@ func main() {
 	var ds *trace.Dataset
 	switch {
 	case *dist > 0:
-		ds, err = runDistVerified(ctx, cfg, opts, *dist, *shards)
+		ds, err = runDistVerified(ctx, cfg, opts, *dist, *shards, *replicas, *leaderKill)
 	case *workersAddr != "":
-		ds, err = runCoordinator(ctx, cfg, opts, *workersAddr, *shards)
+		ds, err = runCoordinator(ctx, cfg, opts, *workersAddr, *shards, *replicaID, *peers)
 	default:
 		ds, err = ebs.New(fleet).Run(ctx, opts)
 	}
@@ -296,9 +312,28 @@ func serveFabric(ctx context.Context, co *fabric.Coordinator, l net.Listener) (*
 }
 
 // runCoordinator listens on addr for worker daemons and merges their shard
-// results into the run's dataset.
-func runCoordinator(ctx context.Context, cfg workload.Config, opts ebs.Options, addr string, shards int) (*trace.Dataset, error) {
-	co, err := fabric.NewCoordinator(fabric.Config{Fleet: cfg, Opts: opts, Shards: shards})
+// results into the run's dataset. With -peers it becomes one replica of a
+// consensus-backed control plane: every ledger mutation is committed across
+// the replica set before it takes effect, workers are redirected to the
+// leader, and a surviving replica finishes the run if this one dies.
+func runCoordinator(ctx context.Context, cfg workload.Config, opts ebs.Options, addr string, shards, replicaID int, peers string) (*trace.Dataset, error) {
+	fc := fabric.Config{Fleet: cfg, Opts: opts, Shards: shards}
+	if peers != "" {
+		peerList := strings.Split(peers, ",")
+		if len(peerList) < 2 {
+			return nil, fmt.Errorf("-peers needs at least two comma-separated addresses")
+		}
+		if replicaID < 0 || replicaID >= len(peerList) {
+			return nil, fmt.Errorf("-replica-id %d outside the %d-replica set", replicaID, len(peerList))
+		}
+		pt := fabric.NewPeerTransport(replicaID, peerList)
+		defer pt.Close()
+		fc.ReplicaID = replicaID
+		fc.Replicas = len(peerList)
+		fc.Transport = pt
+		fc.PeerAddrs = peerList
+	}
+	co, err := fabric.NewCoordinator(fc)
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +342,12 @@ func runCoordinator(ctx context.Context, cfg workload.Config, opts ebs.Options, 
 		return nil, err
 	}
 	defer l.Close()
-	fmt.Fprintf(os.Stderr, "ebssim: waiting for workers on %s (ebsd -join %s)\n", l.Addr(), l.Addr())
+	if peers != "" {
+		fmt.Fprintf(os.Stderr, "ebssim: control-plane replica %d/%d on %s (workers: ebsd -join %s)\n",
+			replicaID, fc.Replicas, l.Addr(), peers)
+	} else {
+		fmt.Fprintf(os.Stderr, "ebssim: waiting for workers on %s (ebsd -join %s)\n", l.Addr(), l.Addr())
+	}
 	return serveFabric(ctx, co, l)
 }
 
@@ -315,7 +355,11 @@ func runCoordinator(ctx context.Context, cfg workload.Config, opts ebs.Options, 
 // loopback transport plus n workers, then re-runs the simulation
 // single-process and fails unless the two dataset fingerprints are
 // identical — the distributed determinism oracle behind `make dist-smoke`.
-func runDistVerified(ctx context.Context, cfg workload.Config, opts ebs.Options, n, shards int) (*trace.Dataset, error) {
+// With replicas > 1 the control plane is a consensus-backed replica set, and
+// leaderKills > 0 additionally schedules chaos kills of the acting leader
+// mid-run — the fingerprint comparison must STILL hold, which is the
+// replicated control plane's whole contract.
+func runDistVerified(ctx context.Context, cfg workload.Config, opts ebs.Options, n, shards, replicas, leaderKills int) (*trace.Dataset, error) {
 	distOpts := opts
 	var distStream *sketch.Set
 	if opts.Stream != nil {
@@ -327,7 +371,54 @@ func runDistVerified(ctx context.Context, cfg workload.Config, opts ebs.Options,
 		distOpts.ChaosStats = &distChaos
 	}
 	distOpts.Progress = nil
-	co, err := fabric.NewCoordinator(fabric.Config{Fleet: cfg, Opts: distOpts, Shards: shards})
+	if leaderKills > 0 {
+		// Leader kills live in the chaos plan but are control-plane-only: they
+		// never expand in the workers' (Shards-less) schedules, so the
+		// single-process reference below stays a valid oracle.
+		plan := chaos.Plan{Recoverable: true}
+		if distOpts.Chaos != nil {
+			plan = *distOpts.Chaos
+		}
+		plan.LeaderKills = leaderKills
+		distOpts.Chaos = &plan
+	}
+
+	var ds *trace.Dataset
+	var err error
+	if replicas > 1 {
+		ds, err = runReplicatedDist(ctx, cfg, distOpts, n, shards, replicas)
+	} else {
+		ds, err = runLoopbackDist(ctx, cfg, distOpts, n, shards)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	fleet, err := workload.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := ebs.New(fleet).Run(ctx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("single-process reference run: %w", err)
+	}
+	distFP, refFP := invariant.Fingerprint(ds), invariant.Fingerprint(ref)
+	fmt.Printf("dist fingerprint   %s (%d workers, %d replicas)\n", distFP, n, replicas)
+	fmt.Printf("single fingerprint %s\n", refFP)
+	if distFP != refFP {
+		return nil, fmt.Errorf("distributed run diverged from single-process run")
+	}
+	if opts.Stream != nil && distStream.Fingerprint() != opts.Stream.Fingerprint() {
+		return nil, fmt.Errorf("distributed sketch state diverged from single-process run")
+	}
+	fmt.Println("distributed == single-process: byte-identical")
+	return ds, nil
+}
+
+// runLoopbackDist is the unreplicated in-process fabric: one coordinator,
+// n workers, one loopback.
+func runLoopbackDist(ctx context.Context, cfg workload.Config, opts ebs.Options, n, shards int) (*trace.Dataset, error) {
+	co, err := fabric.NewCoordinator(fabric.Config{Fleet: cfg, Opts: opts, Shards: shards})
 	if err != nil {
 		return nil, err
 	}
@@ -352,24 +443,55 @@ func runDistVerified(ctx context.Context, cfg workload.Config, opts ebs.Options,
 			return nil, fmt.Errorf("fabric worker %d: %w", i, werr)
 		}
 	}
+	return ds, nil
+}
 
-	fleet, err := workload.Generate(cfg)
+// runReplicatedDist runs the in-process fabric over a consensus-backed
+// replica set: workers dial every replica and follow leader redirects, and
+// any leader kills in opts.Chaos fire mid-run. It reports the leadership
+// history so a kill's succession is visible in the smoke output.
+func runReplicatedDist(ctx context.Context, cfg workload.Config, opts ebs.Options, n, shards, replicas int) (*trace.Dataset, error) {
+	rs, err := fabric.NewReplicaSet(fabric.Config{Fleet: cfg, Opts: opts, Shards: shards}, replicas)
 	if err != nil {
 		return nil, err
 	}
-	ref, err := ebs.New(fleet).Run(ctx, opts)
+	defer rs.Close()
+	if sched := rs.Schedule(); sched != nil {
+		fmt.Fprintf(os.Stderr, "ebssim: %d-replica control plane, %d leader kill(s) scheduled\n",
+			replicas, len(sched.LeaderKills))
+	} else {
+		fmt.Fprintf(os.Stderr, "ebssim: %d-replica control plane\n", replicas)
+	}
+	var wg sync.WaitGroup
+	workerErrs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			workerErrs[i] = fabric.RunWorker(ctx, fabric.WorkerConfig{
+				Dials:       rs.Dials(),
+				CallTimeout: 2 * time.Second,
+			})
+		}(i)
+	}
+	ds, err := rs.Wait(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("single-process reference run: %w", err)
+		return nil, err
 	}
-	distFP, refFP := invariant.Fingerprint(ds), invariant.Fingerprint(ref)
-	fmt.Printf("dist fingerprint   %s (%d workers, %d shards)\n", distFP, n, len(co.Plan()))
-	fmt.Printf("single fingerprint %s\n", refFP)
-	if distFP != refFP {
-		return nil, fmt.Errorf("distributed run diverged from single-process run")
+	wg.Wait()
+	for i, werr := range workerErrs {
+		if werr != nil {
+			return nil, fmt.Errorf("fabric worker %d: %w", i, werr)
+		}
 	}
-	if opts.Stream != nil && distStream.Fingerprint() != opts.Stream.Fingerprint() {
-		return nil, fmt.Errorf("distributed sketch state diverged from single-process run")
+	if sched := rs.Schedule(); sched != nil && rs.KillsExecuted() != len(sched.LeaderKills) {
+		return nil, fmt.Errorf("%d of %d scheduled leader kills fired", rs.KillsExecuted(), len(sched.LeaderKills))
 	}
-	fmt.Println("distributed == single-process: byte-identical")
+	var hist []string
+	for _, tr := range rs.Transitions() {
+		hist = append(hist, fmt.Sprintf("term %d -> replica %d", tr.Term, tr.Leader))
+	}
+	fmt.Fprintf(os.Stderr, "ebssim: leadership history: %s (%d kill(s) executed)\n",
+		strings.Join(hist, ", "), rs.KillsExecuted())
 	return ds, nil
 }

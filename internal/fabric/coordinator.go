@@ -4,16 +4,22 @@
 // AssignShard, ShardResult, Heartbeat, Drain), and deterministically merges
 // the shard partials into a dataset byte-identical to a single-process run —
 // for any worker count, and across worker crashes, stragglers, and duplicate
-// results. See DESIGN.md, "Distributed execution".
+// results. The shard ledger itself is a replicated state machine: with
+// Replicas > 1 every mutation is committed through a consensus log before it
+// takes effect, so a coordinator replica can die mid-run and a newly elected
+// leader resumes from the identical ledger. See DESIGN.md, "Distributed
+// execution" and "Control-plane replication".
 package fabric
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"ebslab/internal/cluster"
+	"ebslab/internal/consensus"
 	"ebslab/internal/ebs"
 	"ebslab/internal/invariant"
 	"ebslab/internal/netblock"
@@ -42,9 +48,41 @@ type Config struct {
 	// once the shard has been out that long (default 30s; straggler
 	// mitigation). At-most-once accounting keeps duplicate results safe.
 	SpeculateAfter time.Duration
+	// AssignHold is how long an AssignShard request with nothing placeable is
+	// held server-side waiting for availability to change (a result landing,
+	// a shard requeuing) before the worker is told to back off and retry
+	// (default 50ms). Event-driven wakeup keeps an idle worker from sleeping
+	// a full WaitPoll after the run's last result arrives.
+	AssignHold time.Duration
 
-	// now overrides the clock in tests.
+	// ReplicaID is this coordinator's identity in the replica set, in
+	// [0, Replicas). Replica 0 bootstraps as the initial leader.
+	ReplicaID int
+	// Replicas is the control-plane replica count (0 or 1 = unreplicated:
+	// a single-node consensus group that commits inline, with no ticker
+	// and no transport).
+	Replicas int
+	// Transport delivers consensus messages to peer replicas. Required when
+	// Replicas > 1; ignored otherwise.
+	Transport consensus.Transport
+	// PeerAddrs optionally maps replica IDs to dialable addresses, included
+	// in leader redirects so workers can jump straight to the leader.
+	PeerAddrs []string
+	// TickEvery is the consensus logical-clock interval (default 5ms when
+	// Replicas > 1). Election and heartbeat spans are multiples of it.
+	TickEvery time.Duration
+	// ProposeTimeout bounds how long a control-plane request waits for its
+	// ledger command to commit (default 10s; typically: no quorum).
+	ProposeTimeout time.Duration
+
+	// now overrides the clock in tests. The leader stamps proposals with it;
+	// replicas never read a clock of their own.
 	now func() time.Time
+	// onLeader fires when this replica wins (or bootstraps) leadership.
+	onLeader func(term uint64, id int)
+	// onApplied fires after each committed ledger command applies locally;
+	// the replica set's chaos leader-kill trigger hangs here.
+	onApplied func(kind uint8, reply any, leader bool)
 }
 
 func (c Config) withDefaults() Config {
@@ -60,61 +98,38 @@ func (c Config) withDefaults() Config {
 	if c.SpeculateAfter <= 0 {
 		c.SpeculateAfter = 30 * time.Second
 	}
+	if c.AssignHold <= 0 {
+		c.AssignHold = 50 * time.Millisecond
+	}
+	if c.Replicas <= 1 {
+		c.Replicas = 1
+	}
+	if c.TickEvery <= 0 {
+		c.TickEvery = 5 * time.Millisecond
+	}
+	if c.ProposeTimeout <= 0 {
+		c.ProposeTimeout = 10 * time.Second
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
 	return c
 }
 
-// Shard dispatch states.
-const (
-	shardPending = iota
-	shardRunning
-	shardDone
-)
-
-// shardState tracks one planned shard through dispatch, execution, and
-// result accounting.
-type shardState struct {
-	r     cluster.ShardRange
-	state int
-	// attempted records every worker the shard was ever dispatched to, so
-	// re-dispatch (speculation or requeue) lands on a different worker.
-	attempted map[uint64]bool
-	// running is the subset of attempted workers believed alive and still
-	// executing the shard.
-	running map[uint64]bool
-	// firstDispatch anchors straggler detection.
-	firstDispatch time.Time
-	lastDispatch  time.Time
-	partial       *ebs.ShardPartial
-
-	dispatched, returned, accepted int
-}
-
-// workerState is the coordinator's view of one joined worker.
-type workerState struct {
-	id       uint64
-	lastBeat time.Time
-}
-
 // Coordinator runs the control plane. It implements netblock.Handler: mount
 // it on a netblock.Server (NewHandlerServer) over any listener — TCP for
-// real deployments, Loopback for in-process fabrics.
+// real deployments, Loopback for in-process fabrics. Every ledger mutation
+// is proposed to the consensus runner and applied only once committed; on a
+// non-leader replica the fabric ops answer StatusRedirect so workers can
+// find the leader.
 type Coordinator struct {
-	cfg   Config
-	sim   *ebs.Sim
-	fleet *workload.Fleet
-	spec  RunSpec
-	plan  []cluster.ShardRange
+	cfg    Config
+	sim    *ebs.Sim
+	fleet  *workload.Fleet
+	plan   []cluster.ShardRange
+	fsm    *ledgerFSM
+	runner *consensus.Runner
 
-	mu        sync.Mutex
-	shards    []*shardState
-	workers   map[uint64]*workerState
-	nextID    uint64
-	remaining int
-
-	allDone   chan struct{}
 	mergeOnce sync.Once
 	result    *trace.Dataset
 	mergeErr  error
@@ -126,6 +141,12 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Opts.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.ReplicaID < 0 || cfg.ReplicaID >= cfg.Replicas {
+		return nil, fmt.Errorf("fabric: replica ID %d outside the %d-replica set", cfg.ReplicaID, cfg.Replicas)
+	}
+	if cfg.Replicas > 1 && cfg.Transport == nil {
+		return nil, fmt.Errorf("fabric: %d replicas need a consensus transport", cfg.Replicas)
 	}
 	fleet, err := workload.Generate(cfg.Fleet)
 	if err != nil {
@@ -140,29 +161,60 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		return nil, fmt.Errorf("fabric: nothing to plan (%d VDs)", nVDs)
 	}
 	co := &Coordinator{
-		cfg:       cfg,
-		sim:       ebs.New(fleet),
-		fleet:     fleet,
-		spec:      specOf(cfg.Opts),
-		plan:      plan,
-		workers:   make(map[uint64]*workerState),
-		remaining: len(plan),
-		allDone:   make(chan struct{}),
+		cfg:   cfg,
+		sim:   ebs.New(fleet),
+		fleet: fleet,
+		plan:  plan,
+		fsm:   newLedgerFSM(cfg, plan),
 	}
-	for _, r := range plan {
-		co.shards = append(co.shards, &shardState{
-			r:         r,
-			attempted: make(map[uint64]bool),
-			running:   make(map[uint64]bool),
-		})
+	tick := cfg.TickEvery
+	if cfg.Replicas == 1 {
+		tick = 0 // single-node groups commit inline; no ticker goroutine
 	}
+	co.runner = consensus.NewRunner(consensus.RunnerConfig{
+		Node: consensus.NewNode(consensus.Config{
+			ID:              cfg.ReplicaID,
+			Peers:           cfg.Replicas,
+			BootstrapLeader: 0,
+			Seed:            cfg.Fleet.Seed,
+		}),
+		FSM:            co.fsm,
+		Transport:      cfg.Transport,
+		TickEvery:      tick,
+		OnBecomeLeader: cfg.onLeader,
+		OnApply:        co.applied,
+	})
 	return co, nil
+}
+
+// applied adapts the runner's apply hook to the config's, surfacing the
+// command kind so the replica set can watch for accepted results.
+func (co *Coordinator) applied(cmd []byte, reply any, leader bool) {
+	if co.cfg.onApplied == nil || len(cmd) == 0 {
+		return
+	}
+	co.cfg.onApplied(cmd[0], reply, leader)
 }
 
 // Plan exposes the shard plan (for reporting).
 func (co *Coordinator) Plan() []cluster.ShardRange { return co.plan }
 
-// Handle implements netblock.Handler for the five fabric ops.
+// Stop shuts the replica down: the consensus runner stops, parked proposals
+// fail, and every later control-plane request is rejected. This is both the
+// orderly teardown and the chaos "kill this replica" primitive.
+func (co *Coordinator) Stop() { co.runner.Stop() }
+
+// Deliver feeds one consensus message into this replica (used by in-process
+// replica sets; TCP deployments arrive through Handle instead).
+func (co *Coordinator) Deliver(m consensus.Message) { co.runner.Deliver(m) }
+
+// DoneCh is closed once every shard has an accepted result in this
+// replica's ledger.
+func (co *Coordinator) DoneCh() <-chan struct{} { return co.fsm.allDone }
+
+// Handle implements netblock.Handler for the fabric control plane: the five
+// worker-facing ops (proposed through the consensus log) plus the replica-
+// to-replica consensus ops and the leader-discovery query.
 func (co *Coordinator) Handle(req *netblock.Request) *netblock.Response {
 	resp := &netblock.Response{ID: req.ID, Status: netblock.StatusOK}
 	fail := func(err error) *netblock.Response {
@@ -171,239 +223,175 @@ func (co *Coordinator) Handle(req *netblock.Request) *netblock.Response {
 		return resp
 	}
 	switch req.Op {
+	case netblock.OpRequestVote, netblock.OpAppendEntries:
+		m, err := consensus.DecodeMessage(req.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		co.runner.Deliver(*m)
+		return resp // one-way: responses travel as their own messages
+	case netblock.OpRedirectLeader:
+		leader, _ := co.runner.LeaderInfo()
+		resp.Payload = mustJSON(co.redirectFor(leader))
+		return resp
 	case netblock.OpJoinFleet:
-		resp.Payload = mustJSON(co.join())
+		return co.propose(resp, command{Kind: cmdJoin})
 	case netblock.OpAssignShard:
 		var m workerMsg
 		if err := fromJSON(req.Payload, &m); err != nil {
 			return fail(err)
 		}
-		resp.Payload = mustJSON(co.assign(m.WorkerID))
+		return co.assignHold(resp, m.WorkerID)
 	case netblock.OpShardResult:
-		rep, err := co.acceptResult(req.Payload)
-		if err != nil {
-			return fail(err)
-		}
-		resp.Payload = mustJSON(rep)
+		// No pre-validation: the FSM decodes the frame at apply time and a
+		// malformed one comes back as an error reply (StatusError). Decoding
+		// a shard result is the most expensive control-plane operation, so
+		// doing it once — not once to validate and again to apply — is what
+		// keeps the dispatch hot path at its unreplicated cost.
+		return co.propose(resp, command{Kind: cmdResult, Frame: req.Payload})
 	case netblock.OpHeartbeat:
 		var m workerMsg
 		if err := fromJSON(req.Payload, &m); err != nil {
 			return fail(err)
 		}
-		co.heartbeat(m.WorkerID)
-		resp.Payload = mustJSON(resultReply{Done: co.Done()})
+		return co.propose(resp, command{Kind: cmdHeartbeat, Worker: m.WorkerID})
 	case netblock.OpDrain:
 		var m workerMsg
 		if err := fromJSON(req.Payload, &m); err != nil {
 			return fail(err)
 		}
-		co.drain(m.WorkerID)
+		return co.propose(resp, command{Kind: cmdDrain, Worker: m.WorkerID})
 	default:
 		return fail(fmt.Errorf("fabric: op %s is not a control-plane request", req.Op))
+	}
+}
+
+// assignHold proposes the assign and, when the ledger has nothing placeable,
+// holds the reply instead of bouncing AssignWait straight back: it parks on
+// the FSM's availability pulse and re-proposes the moment a result lands or
+// a shard requeues, up to cfg.AssignHold. An idle worker at the tail of a
+// run gets its AssignDone (or the freed shard) with sub-millisecond latency
+// instead of discovering it a WaitPoll later — which is the difference
+// between the dispatch benchmark's p50 and a 25ms sleep. Only this handler
+// goroutine blocks; redirects, errors, and replica shutdown all break out.
+func (co *Coordinator) assignHold(resp *netblock.Response, workerID uint64) *netblock.Response {
+	// The hold timer is allocated lazily: most assigns place a shard on the
+	// first try and never park, and this path runs once per shard.
+	var hold *time.Timer
+	defer func() {
+		if hold != nil {
+			hold.Stop()
+		}
+	}()
+	for {
+		// Grab the pulse channel before proposing: any availability change
+		// after our command applies closes this channel, so a wakeup can
+		// never slip between the apply and the park.
+		avail := co.fsm.avail.wait()
+		reply, err := co.proposeRaw(command{Kind: cmdAssign, Worker: workerID})
+		a, isAssign := reply.(AssignReply)
+		if err != nil || !isAssign || a.Status != AssignWait {
+			return co.render(resp, reply, err) // shard, done, redirect, or error
+		}
+		if hold == nil {
+			hold = time.NewTimer(co.cfg.AssignHold)
+		}
+		select {
+		case <-avail:
+		case <-hold.C:
+			return co.render(resp, reply, nil)
+		case <-co.runner.Done():
+			// Replica stopping: hand the wait back, the worker fails over.
+			return co.render(resp, reply, nil)
+		}
+	}
+}
+
+// proposeRaw stamps the command with the leader clock and commits it through
+// the consensus log, returning the FSM's reply unrendered.
+func (co *Coordinator) proposeRaw(c command) (any, error) {
+	c.At = co.cfg.now().UnixNano()
+	return co.runner.Propose(encodeCommand(&c), co.cfg.ProposeTimeout)
+}
+
+// propose commits the command and renders the FSM's reply. On a non-leader
+// replica the response is a StatusRedirect carrying the leader hint, so the
+// worker can re-aim instead of stalling.
+func (co *Coordinator) propose(resp *netblock.Response, c command) *netblock.Response {
+	reply, err := co.proposeRaw(c)
+	return co.render(resp, reply, err)
+}
+
+// render turns a proposal outcome into the wire response.
+func (co *Coordinator) render(resp *netblock.Response, reply any, err error) *netblock.Response {
+	if err != nil {
+		var nle *consensus.NotLeaderError
+		if errors.As(err, &nle) {
+			resp.Status = netblock.StatusRedirect
+			resp.Payload = mustJSON(co.redirectFor(nle.Leader))
+			return resp
+		}
+		resp.Status = netblock.StatusError
+		resp.Payload = []byte(err.Error())
+		return resp
+	}
+	switch v := reply.(type) {
+	case error:
+		resp.Status = netblock.StatusError
+		resp.Payload = []byte(v.Error())
+	case nil: // cmdDrain wants no payload
+	default:
+		resp.Payload = mustJSON(v)
 	}
 	return resp
 }
 
-// join registers a new worker and hands it the run description.
-func (co *Coordinator) join() JoinReply {
-	co.mu.Lock()
-	defer co.mu.Unlock()
-	co.nextID++
-	id := co.nextID
-	co.workers[id] = &workerState{id: id, lastBeat: co.cfg.now()}
-	return JoinReply{
-		WorkerID:    id,
-		Fleet:       co.cfg.Fleet,
-		Spec:        co.spec,
-		Shards:      len(co.plan),
-		HeartbeatMS: co.cfg.HeartbeatEvery.Milliseconds(),
+// redirectFor builds the redirect payload for a hinted leader ID.
+func (co *Coordinator) redirectFor(leader int) RedirectReply {
+	r := RedirectReply{Leader: leader, Known: leader != consensus.None}
+	if r.Known && leader < len(co.cfg.PeerAddrs) {
+		r.Addr = co.cfg.PeerAddrs[leader]
 	}
-}
-
-// assign places a shard on the asking worker: first a pending shard the
-// worker has not attempted, then — when nothing is pending but shards are
-// still out — a speculative copy of the slowest straggling shard.
-func (co *Coordinator) assign(workerID uint64) AssignReply {
-	co.mu.Lock()
-	defer co.mu.Unlock()
-	now := co.cfg.now()
-	co.touchLocked(workerID, now)
-	co.reapLocked(now)
-
-	if co.remaining == 0 {
-		return AssignReply{Status: AssignDone}
-	}
-	var pending []int
-	for i, sh := range co.shards {
-		if sh.state == shardPending {
-			pending = append(pending, i)
-		}
-	}
-	pick := cluster.PickShard(pending, func(s int) bool { return co.shards[s].attempted[workerID] })
-	if pick < 0 {
-		pick = co.straggler(workerID, now)
-	}
-	if pick < 0 {
-		return AssignReply{Status: AssignWait}
-	}
-	sh := co.shards[pick]
-	sh.state = shardRunning
-	sh.attempted[workerID] = true
-	sh.running[workerID] = true
-	sh.dispatched++
-	if sh.firstDispatch.IsZero() {
-		sh.firstDispatch = now
-	}
-	sh.lastDispatch = now
-	return AssignReply{Status: AssignShard, Shard: pick, Lo: sh.r.Lo, Hi: sh.r.Hi}
-}
-
-// straggler picks the running shard that has been out the longest, if it
-// crossed the speculation threshold and this worker never attempted it.
-// Called with co.mu held.
-func (co *Coordinator) straggler(workerID uint64, now time.Time) int {
-	best := -1
-	for i, sh := range co.shards {
-		if sh.state != shardRunning || sh.attempted[workerID] {
-			continue
-		}
-		if now.Sub(sh.lastDispatch) < co.cfg.SpeculateAfter {
-			continue
-		}
-		if best < 0 || sh.firstDispatch.Before(co.shards[best].firstDispatch) {
-			best = i
-		}
-	}
-	return best
-}
-
-// result_ accounts one returned shard result. The first result per shard
-// wins; later copies (from speculation or requeue races) are acknowledged
-// but dropped, so every shard contributes to the merge at most once.
-func (co *Coordinator) acceptResult(frame []byte) (resultReply, error) {
-	workerID, shardID, p, err := decodeResult(frame)
-	if err != nil {
-		return resultReply{}, err
-	}
-	co.mu.Lock()
-	defer co.mu.Unlock()
-	if shardID < 0 || shardID >= len(co.shards) {
-		return resultReply{}, fmt.Errorf("fabric: result for unknown shard %d", shardID)
-	}
-	now := co.cfg.now()
-	co.touchLocked(workerID, now)
-	sh := co.shards[shardID]
-	if p.Lo != sh.r.Lo || p.Hi != sh.r.Hi {
-		return resultReply{}, fmt.Errorf("fabric: shard %d result covers [%d,%d), plan says %v",
-			shardID, p.Lo, p.Hi, sh.r)
-	}
-	sh.returned++
-	delete(sh.running, workerID)
-	if sh.state == shardDone {
-		return resultReply{Accepted: false, Done: co.remaining == 0}, nil
-	}
-	sh.state = shardDone
-	sh.partial = p
-	sh.accepted++
-	co.remaining--
-	if co.remaining == 0 {
-		close(co.allDone)
-	}
-	return resultReply{Accepted: true, Done: co.remaining == 0}, nil
-}
-
-// heartbeat refreshes a worker's liveness and sweeps for dead peers.
-func (co *Coordinator) heartbeat(workerID uint64) {
-	co.mu.Lock()
-	defer co.mu.Unlock()
-	now := co.cfg.now()
-	co.touchLocked(workerID, now)
-	co.reapLocked(now)
-}
-
-// drain deregisters a worker that announced an orderly exit. Shards it was
-// still listed on go back to pending (an orderly worker finishes its shard
-// before draining, so normally there are none).
-func (co *Coordinator) drain(workerID uint64) {
-	co.mu.Lock()
-	defer co.mu.Unlock()
-	delete(co.workers, workerID)
-	co.requeueLocked(workerID)
-}
-
-func (co *Coordinator) touchLocked(workerID uint64, now time.Time) {
-	if w := co.workers[workerID]; w != nil {
-		w.lastBeat = now
-	}
-}
-
-// reapLocked declares workers silent past the liveness timeout dead and
-// requeues their shards. Liveness is evaluated on control-plane traffic
-// (every assign and heartbeat), so a fleet with any live worker converges
-// without a background timer.
-func (co *Coordinator) reapLocked(now time.Time) {
-	for id, w := range co.workers {
-		if now.Sub(w.lastBeat) > co.cfg.LivenessTimeout {
-			delete(co.workers, id)
-			co.requeueLocked(id)
-		}
-	}
-}
-
-// requeueLocked removes the worker from every running shard; shards left
-// with no live executor return to pending (the worker stays in attempted, so
-// the retry lands elsewhere when possible).
-func (co *Coordinator) requeueLocked(workerID uint64) {
-	for _, sh := range co.shards {
-		if sh.state != shardRunning || !sh.running[workerID] {
-			continue
-		}
-		delete(sh.running, workerID)
-		if len(sh.running) == 0 {
-			sh.state = shardPending
-		}
-	}
+	return r
 }
 
 // Done reports whether every shard has an accepted result.
 func (co *Coordinator) Done() bool {
-	co.mu.Lock()
-	defer co.mu.Unlock()
-	return co.remaining == 0
+	var done bool
+	co.runner.Read(func() { done = co.fsm.remaining == 0 })
+	return done
 }
 
 // Workers returns how many workers are currently registered.
 func (co *Coordinator) Workers() int {
-	co.mu.Lock()
-	defer co.mu.Unlock()
-	return len(co.workers)
+	var n int
+	co.runner.Read(func() { n = len(co.fsm.workers) })
+	return n
+}
+
+// LeaderInfo exposes the replica's current leader hint and whether this
+// replica is that leader.
+func (co *Coordinator) LeaderInfo() (leader int, isLeader bool) {
+	return co.runner.LeaderInfo()
 }
 
 // Ledger snapshots the dispatch/result accounting for the cross-process
 // conservation law.
 func (co *Coordinator) Ledger() *invariant.ShardLedger {
-	co.mu.Lock()
-	defer co.mu.Unlock()
-	l := &invariant.ShardLedger{
-		Dispatched: make([]int, len(co.shards)),
-		Returned:   make([]int, len(co.shards)),
-		Accepted:   make([]int, len(co.shards)),
-	}
-	for i, sh := range co.shards {
-		l.Dispatched[i] = sh.dispatched
-		l.Returned[i] = sh.returned
-		l.Accepted[i] = sh.accepted
-	}
+	var l *invariant.ShardLedger
+	co.runner.Read(func() { l = co.fsm.ledger() })
 	return l
 }
 
 // Wait blocks until every shard is accounted for (or ctx ends), then merges
 // the partials — verifying the fabric accounting law first — and returns the
 // final dataset. The merge runs once; concurrent and repeated Waits share
-// its result.
+// its result. Any replica whose ledger reached completion can merge: the
+// partials were committed through the log, so they are byte-identical
+// everywhere.
 func (co *Coordinator) Wait(ctx context.Context) (*trace.Dataset, error) {
 	select {
-	case <-co.allDone:
+	case <-co.fsm.allDone:
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -414,12 +402,12 @@ func (co *Coordinator) Wait(ctx context.Context) (*trace.Dataset, error) {
 			co.mergeErr = fmt.Errorf("fabric: %w", err)
 			return
 		}
-		co.mu.Lock()
-		parts := make([]*ebs.ShardPartial, 0, len(co.shards))
-		for _, sh := range co.shards {
-			parts = append(parts, sh.partial)
-		}
-		co.mu.Unlock()
+		parts := make([]*ebs.ShardPartial, 0, len(co.plan))
+		co.runner.Read(func() {
+			for _, sh := range co.fsm.shards {
+				parts = append(parts, sh.partial)
+			}
+		})
 		co.result, co.mergeErr = co.sim.MergeShards(co.cfg.Opts, parts)
 	})
 	return co.result, co.mergeErr

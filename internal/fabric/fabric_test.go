@@ -11,6 +11,7 @@ import (
 	"ebslab/internal/invariant"
 	"ebslab/internal/netblock"
 	"ebslab/internal/sketch"
+	"ebslab/internal/testclock"
 	"ebslab/internal/trace"
 	"ebslab/internal/workload"
 )
@@ -232,25 +233,14 @@ func (w *fakeWorker) upload(a AssignReply) resultReply {
 // different worker, per placement policy), both results come back, and
 // exactly one is accepted.
 func TestFabricSpeculativeDuplicateDroppedOnce(t *testing.T) {
-	clock := time.Unix(1000, 0)
-	var clockMu sync.Mutex
-	now := func() time.Time {
-		clockMu.Lock()
-		defer clockMu.Unlock()
-		return clock
-	}
-	advance := func(d time.Duration) {
-		clockMu.Lock()
-		clock = clock.Add(d)
-		clockMu.Unlock()
-	}
+	clock := testclock.AtUnix(1000)
 	stream := sketch.NewSet(sketch.Config{TopK: 8, SegPerVD: 4})
 	opts := testOpts(stream)
 	co, lb := startFabric(t, Config{
 		Fleet: testFleetConfig(), Opts: opts, Shards: 2,
 		SpeculateAfter:  time.Minute,
 		LivenessTimeout: time.Hour, // liveness must not interfere here
-		now:             now,
+		now:             clock.Now,
 	})
 
 	slow := newFakeWorker(t, lb)
@@ -272,7 +262,7 @@ func TestFabricSpeculativeDuplicateDroppedOnce(t *testing.T) {
 	if a := fast.assign(); a.Status != AssignWait {
 		t.Fatalf("pre-threshold assign = %+v, want wait", a)
 	}
-	advance(2 * time.Minute)
+	clock.Advance(2 * time.Minute)
 	spec := fast.assign()
 	if spec.Status != AssignShard || spec.Shard != a0.Shard {
 		t.Fatalf("post-threshold assign = %+v, want speculative copy of shard %d", spec, a0.Shard)

@@ -1,0 +1,385 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ebslab/internal/cluster"
+	"ebslab/internal/ebs"
+	"ebslab/internal/invariant"
+)
+
+// --- Replicated control-plane commands -------------------------------------
+//
+// Every mutation of the shard ledger travels through the consensus log as one
+// binary command, so the ledger is a deterministic function of the committed
+// command sequence: any replica that applies the same prefix holds the same
+// shards, workers, and accounting — which is what lets a new leader resume a
+// run mid-flight after the old one dies.
+//
+//	command: u8 kind | u64 worker | i64 atUnixNano | u32 frameLen | frame
+//
+// At is stamped by the proposing leader from its clock, so time-dependent
+// transitions (liveness reaping, speculation thresholds) replay identically
+// on every replica: FSM time only advances when entries commit.
+
+// Command kinds, one per control-plane op.
+const (
+	cmdJoin uint8 = iota + 1
+	cmdAssign
+	cmdResult
+	cmdHeartbeat
+	cmdDrain
+)
+
+// command is one decoded ledger mutation. Frame is the raw shard-result
+// frame for cmdResult (empty otherwise): embedding the worker's exact bytes
+// lets every replica decode the identical partial.
+type command struct {
+	Kind   uint8
+	Worker uint64
+	At     int64
+	Frame  []byte
+}
+
+func encodeCommand(c *command) []byte {
+	w := &wireWriter{b: make([]byte, 0, 1+8+8+4+len(c.Frame))}
+	w.u8(c.Kind)
+	w.u64(c.Worker)
+	w.i64(c.At)
+	w.u32(uint32(len(c.Frame)))
+	w.b = append(w.b, c.Frame...)
+	return w.b
+}
+
+func decodeCommand(data []byte) (command, error) {
+	r := &wireReader{b: data}
+	var c command
+	c.Kind = r.u8()
+	c.Worker = r.u64()
+	c.At = r.i64()
+	c.Frame = r.take(r.count(1))
+	if r.err == nil && r.remaining() != 0 {
+		r.fail()
+	}
+	if r.err == nil && (c.Kind < cmdJoin || c.Kind > cmdDrain) {
+		r.fail()
+	}
+	if r.err != nil {
+		return command{}, fmt.Errorf("%w: bad ledger command", ErrWire)
+	}
+	return c, nil
+}
+
+// Shard dispatch states.
+const (
+	shardPending = iota
+	shardRunning
+	shardDone
+)
+
+// shardState tracks one planned shard through dispatch, execution, and
+// result accounting.
+type shardState struct {
+	r     cluster.ShardRange
+	state int
+	// attempted records every worker the shard was ever dispatched to, so
+	// re-dispatch (speculation or requeue) lands on a different worker.
+	attempted map[uint64]bool
+	// running is the subset of attempted workers believed alive and still
+	// executing the shard.
+	running map[uint64]bool
+	// returnedBy records workers whose result for this shard was already
+	// accounted, so a retransmit after a lost reply (leader failover) is
+	// acknowledged without double-counting the ledger.
+	returnedBy map[uint64]bool
+	// firstDispatch anchors straggler detection.
+	firstDispatch time.Time
+	lastDispatch  time.Time
+	partial       *ebs.ShardPartial
+
+	dispatched, returned, accepted int
+}
+
+// workerState is the control plane's view of one joined worker.
+type workerState struct {
+	id       uint64
+	lastBeat time.Time
+}
+
+// pulse is a reusable broadcast: wait hands out the current channel, fire
+// closes it and installs a fresh one, waking every waiter at once. The FSM
+// fires it when shard availability changes; assign long-polls wait on it.
+// Its mutex is a leaf — fire runs under the Runner's lock and must not
+// acquire anything else.
+type pulse struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func newPulse() *pulse { return &pulse{ch: make(chan struct{})} }
+
+func (p *pulse) wait() <-chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ch
+}
+
+func (p *pulse) fire() {
+	p.mu.Lock()
+	close(p.ch)
+	p.ch = make(chan struct{})
+	p.mu.Unlock()
+}
+
+// ledgerFSM is the replicated shard ledger: the deterministic state machine
+// the consensus Runner applies committed commands to. All methods run under
+// the Runner's lock; nothing here reads the wall clock — every timestamp
+// comes from the command being applied.
+type ledgerFSM struct {
+	cfg  Config // defaults resolved; supplies liveness/speculation knobs
+	plan []cluster.ShardRange
+
+	shards    []*shardState
+	workers   map[uint64]*workerState
+	nextID    uint64
+	remaining int
+	// acceptedTotal counts accepted results across all shards, in commit
+	// order — the logical clock chaos leader-kill triggers key on.
+	acceptedTotal int
+
+	doneOnce sync.Once
+	allDone  chan struct{}
+	// avail fires whenever a shard becomes placeable or the run completes
+	// (result accepted, shard requeued): the coordinator's assign long-poll
+	// re-asks on it instead of making workers retry on a timer.
+	avail *pulse
+}
+
+func newLedgerFSM(cfg Config, plan []cluster.ShardRange) *ledgerFSM {
+	f := &ledgerFSM{
+		cfg:       cfg,
+		plan:      plan,
+		workers:   make(map[uint64]*workerState),
+		remaining: len(plan),
+		allDone:   make(chan struct{}),
+		avail:     newPulse(),
+	}
+	for _, r := range plan {
+		f.shards = append(f.shards, &shardState{
+			r:          r,
+			attempted:  make(map[uint64]bool),
+			running:    make(map[uint64]bool),
+			returnedBy: make(map[uint64]bool),
+		})
+	}
+	return f
+}
+
+// Apply consumes one committed command. The reply is what the proposing
+// handler sends back to the worker; error replies surface as StatusError.
+// Apply is a pure function of (ledger state, command): map iteration never
+// decides anything order-sensitive, and time is read from the command stamp,
+// so replicas applying the same log converge on identical ledgers.
+func (f *ledgerFSM) Apply(index uint64, cmd []byte) any {
+	c, err := decodeCommand(cmd)
+	if err != nil {
+		return err
+	}
+	now := time.Unix(0, c.At)
+	switch c.Kind {
+	case cmdJoin:
+		return f.join(now)
+	case cmdAssign:
+		return f.assign(c.Worker, now)
+	case cmdResult:
+		return f.result(c.Frame, now)
+	case cmdHeartbeat:
+		f.touch(c.Worker, now)
+		f.reap(now)
+		return resultReply{Done: f.remaining == 0}
+	case cmdDrain:
+		delete(f.workers, c.Worker)
+		f.requeue(c.Worker)
+		return resultReply{Done: f.remaining == 0}
+	}
+	return fmt.Errorf("fabric: unknown ledger command kind %d", c.Kind)
+}
+
+// join registers a new worker and hands it the run description.
+func (f *ledgerFSM) join(now time.Time) JoinReply {
+	f.nextID++
+	id := f.nextID
+	f.workers[id] = &workerState{id: id, lastBeat: now}
+	return JoinReply{
+		WorkerID:    id,
+		Fleet:       f.cfg.Fleet,
+		Spec:        specOf(f.cfg.Opts),
+		Shards:      len(f.plan),
+		HeartbeatMS: f.cfg.HeartbeatEvery.Milliseconds(),
+	}
+}
+
+// assign places a shard on the asking worker: first a pending shard the
+// worker has not attempted, then — when nothing is pending but shards are
+// still out — a speculative copy of the slowest straggling shard.
+func (f *ledgerFSM) assign(workerID uint64, now time.Time) AssignReply {
+	f.touch(workerID, now)
+	f.reap(now)
+
+	if f.remaining == 0 {
+		return AssignReply{Status: AssignDone}
+	}
+	// A worker the ledger already lists as executing a shard is re-asking
+	// because its assign reply was lost (leader failover between commit and
+	// response). Re-offer the same shard instead of parking it: a second
+	// dispatch would strand the first copy until speculation rescues it.
+	for i, sh := range f.shards {
+		if sh.state == shardRunning && sh.running[workerID] {
+			return AssignReply{Status: AssignShard, Shard: i, Lo: sh.r.Lo, Hi: sh.r.Hi}
+		}
+	}
+	var pending []int
+	for i, sh := range f.shards {
+		if sh.state == shardPending {
+			pending = append(pending, i)
+		}
+	}
+	pick := cluster.PickShard(pending, func(s int) bool { return f.shards[s].attempted[workerID] })
+	if pick < 0 {
+		pick = f.straggler(workerID, now)
+	}
+	if pick < 0 {
+		return AssignReply{Status: AssignWait}
+	}
+	sh := f.shards[pick]
+	sh.state = shardRunning
+	sh.attempted[workerID] = true
+	sh.running[workerID] = true
+	sh.dispatched++
+	if sh.firstDispatch.IsZero() {
+		sh.firstDispatch = now
+	}
+	sh.lastDispatch = now
+	return AssignReply{Status: AssignShard, Shard: pick, Lo: sh.r.Lo, Hi: sh.r.Hi}
+}
+
+// straggler picks the running shard that has been out the longest, if it
+// crossed the speculation threshold and this worker never attempted it.
+func (f *ledgerFSM) straggler(workerID uint64, now time.Time) int {
+	best := -1
+	for i, sh := range f.shards {
+		if sh.state != shardRunning || sh.attempted[workerID] {
+			continue
+		}
+		if now.Sub(sh.lastDispatch) < f.cfg.SpeculateAfter {
+			continue
+		}
+		if best < 0 || sh.firstDispatch.Before(f.shards[best].firstDispatch) {
+			best = i
+		}
+	}
+	return best
+}
+
+// result accounts one returned shard result. The first result per shard
+// wins; later copies (from speculation or requeue races) are acknowledged
+// but dropped, so every shard contributes to the merge at most once. A
+// worker re-uploading a result it already delivered (retransmit after a
+// leader failover ate the reply) is acknowledged without touching the
+// ledger at all.
+func (f *ledgerFSM) result(frame []byte, now time.Time) any {
+	workerID, shardID, p, err := decodeResult(frame)
+	if err != nil {
+		return err
+	}
+	if shardID < 0 || shardID >= len(f.shards) {
+		return fmt.Errorf("fabric: result for unknown shard %d", shardID)
+	}
+	f.touch(workerID, now)
+	sh := f.shards[shardID]
+	if p.Lo != sh.r.Lo || p.Hi != sh.r.Hi {
+		return fmt.Errorf("fabric: shard %d result covers [%d,%d), plan says %v",
+			shardID, p.Lo, p.Hi, sh.r)
+	}
+	if sh.returnedBy[workerID] {
+		return resultReply{Accepted: false, Done: f.remaining == 0}
+	}
+	sh.returnedBy[workerID] = true
+	sh.returned++
+	delete(sh.running, workerID)
+	if sh.state == shardDone {
+		return resultReply{Accepted: false, Done: f.remaining == 0}
+	}
+	sh.state = shardDone
+	sh.partial = p
+	sh.accepted++
+	f.acceptedTotal++
+	f.remaining--
+	if f.remaining == 0 {
+		f.doneOnce.Do(func() { close(f.allDone) })
+	}
+	// An accepted result changes what the next assign answers (fewer shards
+	// out, possibly done): wake any worker parked in an assign long-poll.
+	f.avail.fire()
+	return resultReply{Accepted: true, Done: f.remaining == 0}
+}
+
+func (f *ledgerFSM) touch(workerID uint64, now time.Time) {
+	if w := f.workers[workerID]; w != nil {
+		w.lastBeat = now
+	}
+}
+
+// reap declares workers silent past the liveness timeout dead and requeues
+// their shards. Liveness is evaluated on control-plane traffic (every assign
+// and heartbeat), so a fleet with any live worker converges without a
+// background timer — and, because the evaluation happens at apply time from
+// command stamps, every replica reaps the same workers at the same log
+// position. Requeues commute (each removes one worker from disjoint running
+// sets), so map iteration order cannot diverge replicas.
+func (f *ledgerFSM) reap(now time.Time) {
+	for id, w := range f.workers {
+		if now.Sub(w.lastBeat) > f.cfg.LivenessTimeout {
+			delete(f.workers, id)
+			f.requeue(id)
+		}
+	}
+}
+
+// requeue removes the worker from every running shard; shards left with no
+// live executor return to pending (the worker stays in attempted, so the
+// retry lands elsewhere when possible).
+func (f *ledgerFSM) requeue(workerID uint64) {
+	freed := false
+	for _, sh := range f.shards {
+		if sh.state != shardRunning || !sh.running[workerID] {
+			continue
+		}
+		delete(sh.running, workerID)
+		if len(sh.running) == 0 {
+			sh.state = shardPending
+			freed = true
+		}
+	}
+	if freed {
+		f.avail.fire() // a shard went back to pending: long-polls can place it
+	}
+}
+
+// ledger snapshots the dispatch/result accounting. Caller must hold the
+// Runner's lock (via Runner.Read).
+func (f *ledgerFSM) ledger() *invariant.ShardLedger {
+	l := &invariant.ShardLedger{
+		Dispatched: make([]int, len(f.shards)),
+		Returned:   make([]int, len(f.shards)),
+		Accepted:   make([]int, len(f.shards)),
+	}
+	for i, sh := range f.shards {
+		l.Dispatched[i] = sh.dispatched
+		l.Returned[i] = sh.returned
+		l.Accepted[i] = sh.accepted
+	}
+	return l
+}

@@ -1,0 +1,200 @@
+package fabric
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"ebslab/internal/cluster"
+	"ebslab/internal/ebs"
+	"ebslab/internal/testclock"
+	"ebslab/internal/workload"
+)
+
+// TestLedgerCommandCodecRoundTrip pins the replicated command frame.
+func TestLedgerCommandCodecRoundTrip(t *testing.T) {
+	cases := []command{
+		{Kind: cmdJoin, At: 12345},
+		{Kind: cmdAssign, Worker: 7, At: -9},
+		{Kind: cmdResult, Worker: 2, At: 1e9, Frame: []byte{1, 2, 3, 4}},
+		{Kind: cmdHeartbeat, Worker: ^uint64(0), At: 0},
+		{Kind: cmdDrain, Worker: 1, At: 77},
+	}
+	for _, want := range cases {
+		got, err := decodeCommand(encodeCommand(&want))
+		if err != nil {
+			t.Fatalf("kind %d: %v", want.Kind, err)
+		}
+		if got.Kind != want.Kind || got.Worker != want.Worker || got.At != want.At ||
+			string(got.Frame) != string(want.Frame) {
+			t.Fatalf("kind %d round-trip drifted: %+v != %+v", want.Kind, got, want)
+		}
+	}
+	if _, err := decodeCommand(nil); err == nil {
+		t.Fatal("empty command decoded")
+	}
+	if _, err := decodeCommand([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("kind 0 accepted")
+	}
+	frame := encodeCommand(&command{Kind: cmdJoin})
+	if _, err := decodeCommand(append(frame, 0xFF)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := decodeCommand(frame[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+}
+
+// TestLedgerFSMDeterministicReplay is the replication soundness test: two FSM
+// instances fed the identical committed command sequence — including liveness
+// reaping triggered purely by command timestamps and a duplicate result — must
+// emit identical replies at every step and converge on identical ledgers.
+// This is the property that lets a follower take over mid-run: its ledger IS
+// the leader's ledger.
+func TestLedgerFSMDeterministicReplay(t *testing.T) {
+	cfg := Config{
+		Fleet: testFleetConfig(), Opts: testOpts(nil), Shards: 3,
+		LivenessTimeout: time.Second,
+	}.withDefaults()
+	fleet, err := workload.Generate(cfg.Fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := cluster.PlanShards(planVDs(fleet, cfg.Opts), cfg.Shards)
+	if len(plan) != 3 {
+		t.Fatalf("planned %d shards, want 3", len(plan))
+	}
+	sim := ebs.New(fleet)
+	partialFrame := func(worker uint64, shard int) []byte {
+		p, err := sim.RunShard(context.Background(), testOpts(nil), plan[shard].Lo, plan[shard].Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return encodeResult(worker, shard, p)
+	}
+
+	clock := testclock.AtUnix(50)
+	at := func() int64 { return clock.Now().UnixNano() }
+	// The script: two workers join; worker 1 takes a shard and goes silent;
+	// worker 2 works through everything, a liveness reap rescuing worker 1's
+	// shard; worker 1's zombie result for the reaped shard arrives late and is
+	// dropped; worker 2 drains.
+	var script [][]byte
+	step := func(c command) { script = append(script, encodeCommand(&c)) }
+	step(command{Kind: cmdJoin, At: at()})                     // worker 1
+	step(command{Kind: cmdJoin, At: at()})                     // worker 2
+	step(command{Kind: cmdAssign, Worker: 1, At: at()})        // w1 takes shard A
+	step(command{Kind: cmdAssign, Worker: 2, At: at()})        // w2 takes shard B
+	step(command{Kind: cmdResult, Worker: 2, At: at(), Frame: partialFrame(2, 1)})
+	clock.Advance(2 * time.Second)                             // w1 silent past liveness
+	step(command{Kind: cmdAssign, Worker: 2, At: at()})        // reaps w1, w2 inherits A
+	step(command{Kind: cmdResult, Worker: 2, At: at(), Frame: partialFrame(2, 0)})
+	step(command{Kind: cmdResult, Worker: 1, At: at(), Frame: partialFrame(1, 0)}) // zombie dup
+	step(command{Kind: cmdAssign, Worker: 2, At: at()})        // w2 takes the last shard
+	step(command{Kind: cmdResult, Worker: 2, At: at(), Frame: partialFrame(2, 2)})
+	step(command{Kind: cmdHeartbeat, Worker: 2, At: at()})
+	step(command{Kind: cmdDrain, Worker: 2, At: at()})
+
+	a, b := newLedgerFSM(cfg, plan), newLedgerFSM(cfg, plan)
+	for i, cmd := range script {
+		ra, rb := a.Apply(uint64(i+1), cmd), b.Apply(uint64(i+1), cmd)
+		if !reflect.DeepEqual(describeReply(ra), describeReply(rb)) {
+			t.Fatalf("step %d: replies diverged: %#v != %#v", i, ra, rb)
+		}
+	}
+	if !reflect.DeepEqual(a.ledger(), b.ledger()) {
+		t.Fatalf("ledgers diverged:\n%+v\n%+v", a.ledger(), b.ledger())
+	}
+	if len(a.workers) != 0 || len(b.workers) != 0 {
+		t.Fatalf("workers left registered: %d and %d, want 0", len(a.workers), len(b.workers))
+	}
+	if a.remaining != 0 || b.remaining != 0 {
+		t.Fatalf("remaining %d and %d, want 0", a.remaining, b.remaining)
+	}
+	l := a.ledger()
+	for i := range l.Accepted {
+		if l.Accepted[i] != 1 {
+			t.Fatalf("shard %d accepted %d results, want 1", i, l.Accepted[i])
+		}
+	}
+	// The reaped shard was dispatched twice and — via the zombie — returned twice.
+	if l.Dispatched[0] != 2 || l.Returned[0] != 2 {
+		t.Fatalf("reaped shard d=%d r=%d, want 2/2", l.Dispatched[0], l.Returned[0])
+	}
+}
+
+// describeReply normalizes an Apply reply for cross-replica comparison:
+// errors compare by message, everything else by value.
+func describeReply(r any) any {
+	if err, ok := r.(error); ok {
+		return "error: " + err.Error()
+	}
+	return r
+}
+
+// planVDs mirrors NewCoordinator's shard-plan sizing: the fleet's VD count
+// clamped by Options.MaxVDs.
+func planVDs(fleet *workload.Fleet, opts ebs.Options) int {
+	n := len(fleet.Topology.VDs)
+	if opts.MaxVDs > 0 && opts.MaxVDs < n {
+		n = opts.MaxVDs
+	}
+	return n
+}
+
+// TestLedgerFSMRetransmitAcknowledgedOnce covers the lost-reply window: a
+// worker whose accepted result got no answer (leader died post-commit)
+// re-uploads the identical frame; the ledger must acknowledge without
+// double-counting, and a re-asked assign must re-offer the shard a worker is
+// already running rather than dispatching a second copy.
+func TestLedgerFSMRetransmitAcknowledgedOnce(t *testing.T) {
+	cfg := Config{
+		Fleet: testFleetConfig(), Opts: testOpts(nil), Shards: 2,
+		LivenessTimeout: time.Hour,
+	}.withDefaults()
+	fleet, err := workload.Generate(cfg.Fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := cluster.PlanShards(planVDs(fleet, cfg.Opts), cfg.Shards)
+	f := newLedgerFSM(cfg, plan)
+	at := time.Unix(50, 0).UnixNano()
+
+	f.Apply(1, encodeCommand(&command{Kind: cmdJoin, At: at}))
+	first := f.Apply(2, encodeCommand(&command{Kind: cmdAssign, Worker: 1, At: at})).(AssignReply)
+	if first.Status != AssignShard {
+		t.Fatalf("assign = %+v, want a shard", first)
+	}
+	// Lost assign reply: the worker re-asks and must get the SAME shard back,
+	// with no extra dispatch on the books.
+	again := f.Apply(3, encodeCommand(&command{Kind: cmdAssign, Worker: 1, At: at})).(AssignReply)
+	if again.Status != AssignShard || again.Shard != first.Shard {
+		t.Fatalf("re-ask = %+v, want shard %d again", again, first.Shard)
+	}
+	if d := f.ledger().Dispatched[first.Shard]; d != 1 {
+		t.Fatalf("re-offered shard dispatched %d times, want 1", d)
+	}
+
+	p, err := ebs.New(fleet).RunShard(context.Background(), testOpts(nil), plan[first.Shard].Lo, plan[first.Shard].Hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := encodeResult(1, first.Shard, p)
+	r1 := f.Apply(4, encodeCommand(&command{Kind: cmdResult, Worker: 1, At: at, Frame: frame})).(resultReply)
+	if !r1.Accepted {
+		t.Fatal("first upload rejected")
+	}
+	// Lost result reply: the retransmit is acknowledged but changes nothing.
+	r2 := f.Apply(5, encodeCommand(&command{Kind: cmdResult, Worker: 1, At: at, Frame: frame})).(resultReply)
+	if r2.Accepted {
+		t.Fatal("retransmitted result accepted twice")
+	}
+	l := f.ledger()
+	if l.Dispatched[first.Shard] != 1 || l.Returned[first.Shard] != 1 || l.Accepted[first.Shard] != 1 {
+		t.Fatalf("retransmit leaked into the ledger: d=%d r=%d a=%d, want 1/1/1",
+			l.Dispatched[first.Shard], l.Returned[first.Shard], l.Accepted[first.Shard])
+	}
+}

@@ -123,6 +123,25 @@ type resultReply struct {
 	Done     bool
 }
 
+// RedirectReply is the payload of a StatusRedirect response (and of the
+// OpRedirectLeader query): the answering replica's best knowledge of who
+// leads the control plane. Known is false mid-election; Addr is set when the
+// replica was configured with peer addresses.
+type RedirectReply struct {
+	Leader int
+	Addr   string `json:",omitempty"`
+	Known  bool
+}
+
+// decodeRedirect parses a redirect payload, tolerating malformed hints (a
+// worker falls back to round-robin probing when ok is false).
+func decodeRedirect(info []byte) (r RedirectReply, ok bool) {
+	if err := fromJSON(info, &r); err != nil {
+		return RedirectReply{}, false
+	}
+	return r, true
+}
+
 func mustJSON(v any) []byte {
 	b, err := json.Marshal(v)
 	if err != nil {

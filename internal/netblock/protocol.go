@@ -20,7 +20,12 @@ type OpCode uint8
 // Protocol operations. The first five are the block-IO data plane; the
 // fabric ops are the distributed-simulation control plane (JoinFleet,
 // AssignShard, ShardResult, Heartbeat, Drain) whose payloads are opaque to
-// this layer — internal/fabric defines their message bodies.
+// this layer — internal/fabric defines their message bodies. The consensus
+// ops replicate the fabric control plane itself: RequestVote and
+// AppendEntries carry internal/consensus messages between coordinator
+// replicas, and RedirectLeader lets any client ask any replica who is
+// currently leading (internal/consensus and internal/fabric define the
+// bodies).
 const (
 	OpRead OpCode = iota + 1
 	OpWrite
@@ -32,13 +37,16 @@ const (
 	OpShardResult
 	OpHeartbeat
 	OpDrain
+	OpRequestVote
+	OpAppendEntries
+	OpRedirectLeader
 )
 
 // Valid reports whether o is a defined protocol operation. The codec
 // rejects undefined opcodes on both sides: the client refuses to encode
 // them, and the server refuses to decode them (an unknown opcode makes the
 // frame length ambiguous, so the connection cannot be resynchronized).
-func (o OpCode) Valid() bool { return o >= OpRead && o <= OpDrain }
+func (o OpCode) Valid() bool { return o >= OpRead && o <= OpRedirectLeader }
 
 // carriesPayload reports whether a request of this op carries Length bytes
 // of payload after its header. Block reads describe their payload size but
@@ -51,10 +59,12 @@ func (o OpCode) carriesPayload() bool {
 // maxPayloadFor bounds one request payload by op. Block-IO frames never
 // exceed a few MiB of block data; a ShardResult legitimately carries an
 // entire shard's trace records and metric rows, so it gets a larger — but
-// still hard — cap. Decoding commits memory chunk-by-chunk as bytes arrive
-// (see readPayload), so a hostile header cannot allocate the cap up front.
+// still hard — cap, and AppendEntries gets the same cap because a
+// replicated log entry embeds the shard-result frame it commits. Decoding
+// commits memory chunk-by-chunk as bytes arrive (see readPayload), so a
+// hostile header cannot allocate the cap up front.
 func (o OpCode) maxPayloadFor() uint32 {
-	if o == OpShardResult {
+	if o == OpShardResult || o == OpAppendEntries {
 		return maxShardPayload
 	}
 	return maxPayload
@@ -82,14 +92,24 @@ func (o OpCode) String() string {
 		return "heartbeat"
 	case OpDrain:
 		return "drain"
+	case OpRequestVote:
+		return "request-vote"
+	case OpAppendEntries:
+		return "append-entries"
+	case OpRedirectLeader:
+		return "redirect-leader"
 	}
 	return fmt.Sprintf("OpCode(%d)", uint8(o))
 }
 
-// Status codes in responses.
+// Status codes in responses. StatusRedirect is the replicated control
+// plane's "not the leader" answer: the payload names the leader (a
+// fabric.RedirectReply), and clients surface it as *RedirectError so
+// callers can re-aim at the leader instead of treating it as a failure.
 const (
 	StatusOK uint8 = iota
 	StatusError
+	StatusRedirect
 )
 
 // maxPayload bounds a single request/response payload (one protocol
@@ -134,10 +154,25 @@ type Response struct {
 
 // Err converts an error response into a Go error.
 func (r *Response) Err() error {
-	if r.Status == StatusOK {
+	switch r.Status {
+	case StatusOK:
 		return nil
+	case StatusRedirect:
+		return &RedirectError{Info: append([]byte(nil), r.Payload...)}
 	}
 	return fmt.Errorf("netblock: remote: %s", r.Payload)
+}
+
+// RedirectError reports that the peer is a replicated-service follower (or
+// mid-election) and cannot serve the call. Info is the peer's leader hint,
+// opaque to this layer (internal/fabric encodes a RedirectReply there);
+// clients should decode it and retry against the named leader.
+type RedirectError struct {
+	Info []byte
+}
+
+func (e *RedirectError) Error() string {
+	return "netblock: peer is not the leader"
 }
 
 // Errors of the codec layer.

@@ -1,0 +1,52 @@
+package testclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClockAdvanceAndSet(t *testing.T) {
+	c := AtUnix(1000)
+	if got := c.Now(); !got.Equal(time.Unix(1000, 0)) {
+		t.Fatalf("Now() = %v, want unix 1000", got)
+	}
+	c.Advance(90 * time.Second)
+	if got := c.Now(); !got.Equal(time.Unix(1090, 0)) {
+		t.Fatalf("after Advance, Now() = %v, want unix 1090", got)
+	}
+	c.Advance(-30 * time.Second)
+	if got := c.Now(); !got.Equal(time.Unix(1060, 0)) {
+		t.Fatalf("after negative Advance, Now() = %v, want unix 1060", got)
+	}
+	c.Set(time.Unix(5, 0))
+	if got := c.Now(); !got.Equal(time.Unix(5, 0)) {
+		t.Fatalf("after Set, Now() = %v, want unix 5", got)
+	}
+}
+
+// TestClockConcurrent drives Now and Advance from racing goroutines; the
+// race detector is the assertion.
+func TestClockConcurrent(t *testing.T) {
+	c := AtUnix(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Advance(time.Millisecond)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_ = c.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); !got.Equal(time.Unix(0, 0).Add(400 * time.Millisecond)) {
+		t.Fatalf("Now() = %v, want +400ms", got)
+	}
+}
