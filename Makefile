@@ -9,7 +9,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test race vet bench bench-gate golden golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke dist-ha-smoke consensus-race ci
+.PHONY: all build test race vet bench bench-gate golden golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke dist-ha-smoke consensus-race gateway-smoke ci
 
 all: build
 
@@ -70,6 +70,7 @@ fuzz-smoke:
 	$(GO) test ./internal/sketch -fuzz FuzzLogQuantileMerge -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sketch -fuzz FuzzSetCodec -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/consensus -fuzz FuzzMessageCodec -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/gateway -fuzz FuzzGatewayCodec -fuzztime $(FUZZTIME)
 
 # Coverage over the fault-injection surface: the chaos layer itself plus
 # every package it reaches into (RPC substrate, engine, balancer, throttle,
@@ -109,4 +110,12 @@ dist-ha-smoke:
 consensus-race:
 	$(GO) test -race -count=1 ./internal/consensus ./internal/fabric
 
-ci: vet race golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke dist-ha-smoke consensus-race bench-gate
+# Serving-plane gate: the ebsgate binary serves a gateway on loopback TCP,
+# a protocol client submits one study through the full wire path and streams
+# sketch snapshots while it runs, and the binary fails unless the served
+# dataset and sketch fingerprints are byte-identical to a direct
+# single-process run of the same spec.
+gateway-smoke:
+	$(GO) run ./cmd/ebsgate -selftest -seed 7 -dur 4 -nodes 2 -users 4 -max-vds 12
+
+ci: vet race golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke dist-ha-smoke consensus-race gateway-smoke bench-gate

@@ -28,6 +28,60 @@ import (
 	"ebslab/internal/workload"
 )
 
+// roleFlags is the slice of the flag set that selects an execution role:
+// single-process run, in-process fabric (-dist), TCP coordinator
+// (-workers-addr, optionally replicated via -peers/-replica-id), or TCP
+// worker (-serve). Exactly one role may be selected.
+type roleFlags struct {
+	dist        int
+	workersAddr string
+	serveAddr   string
+	replicas    int
+	leaderKill  int
+	replicaID   int
+	peers       string
+}
+
+// validateFlags rejects contradictory role selections up front, naming every
+// flag involved so the exit is actionable instead of one role silently
+// winning over the other.
+func validateFlags(f roleFlags) error {
+	if f.serveAddr != "" {
+		if f.dist > 0 || f.workersAddr != "" {
+			return fmt.Errorf("-serve selects the worker role, which conflicts with the coordinator roles -dist and -workers-addr: pass exactly one of -serve, -dist, -workers-addr")
+		}
+		return nil // worker role takes every simulation flag from the coordinator
+	}
+	if f.dist > 0 && f.workersAddr != "" {
+		return fmt.Errorf("-dist runs the fabric in-process and -workers-addr serves it over TCP: the roles conflict, pass exactly one of -dist, -workers-addr")
+	}
+	if f.replicas < 1 {
+		return fmt.Errorf("-replicas %d: want >= 1", f.replicas)
+	}
+	if f.replicas > 1 && f.dist == 0 {
+		return fmt.Errorf("-replicas %d replicates the in-process control plane and needs -dist (for TCP replication use -workers-addr with -peers)", f.replicas)
+	}
+	if f.peers != "" && f.workersAddr == "" {
+		return fmt.Errorf("-peers replicates the TCP coordinator and needs -workers-addr")
+	}
+	if f.replicaID != 0 && f.peers == "" {
+		return fmt.Errorf("-replica-id %d needs -peers (it indexes this coordinator into the peer list)", f.replicaID)
+	}
+	if f.leaderKill < 0 {
+		return fmt.Errorf("-leader-kill %d: want >= 0", f.leaderKill)
+	}
+	if f.leaderKill > 0 {
+		if f.dist == 0 || f.replicas < 2 {
+			return fmt.Errorf("-leader-kill needs -dist and -replicas >= 2")
+		}
+		if max := (f.replicas - 1) / 2; f.leaderKill > max {
+			return fmt.Errorf("a %d-replica control plane survives at most %d leader kills, got -leader-kill %d",
+				f.replicas, max, f.leaderKill)
+		}
+	}
+	return nil
+}
+
 func main() {
 	var (
 		seed    = flag.Int64("seed", 1, "fleet generation seed")
@@ -58,20 +112,21 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateFlags(roleFlags{
+		dist:        *dist,
+		workersAddr: *workersAddr,
+		serveAddr:   *serveAddr,
+		replicas:    *replicas,
+		leaderKill:  *leaderKill,
+		replicaID:   *replicaID,
+		peers:       *peers,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "ebssim:", err)
+		os.Exit(2)
+	}
 	if *serveAddr != "" {
 		runWorkerRole(*serveAddr)
 		return
-	}
-	if *leaderKill > 0 {
-		if *dist == 0 || *replicas < 2 {
-			fmt.Fprintln(os.Stderr, "ebssim: -leader-kill needs -dist and -replicas >= 2")
-			os.Exit(2)
-		}
-		if *leaderKill > (*replicas-1)/2 {
-			fmt.Fprintf(os.Stderr, "ebssim: a %d-replica control plane survives at most %d leader kills\n",
-				*replicas, (*replicas-1)/2)
-			os.Exit(2)
-		}
 	}
 
 	cfg := workload.DefaultConfig()

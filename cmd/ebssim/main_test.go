@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFlagsMatrix walks the (-dist, -replicas, -leader-kill) matrix
+// plus the role-conflict corners: every contradictory combination must be
+// rejected with an error naming the flags involved, and every sensible one
+// accepted.
+func TestValidateFlagsMatrix(t *testing.T) {
+	cases := []struct {
+		name    string
+		f       roleFlags
+		wantErr []string // substrings the error must carry; empty = valid
+	}{
+		{"single process", roleFlags{replicas: 1}, nil},
+		{"dist", roleFlags{dist: 2, replicas: 1}, nil},
+		{"dist sharded replicas", roleFlags{dist: 2, replicas: 3}, nil},
+		{"dist one kill", roleFlags{dist: 2, replicas: 3, leaderKill: 1}, nil},
+		{"dist two kills five replicas", roleFlags{dist: 4, replicas: 5, leaderKill: 2}, nil},
+		{"tcp coordinator", roleFlags{workersAddr: ":9000", replicas: 1}, nil},
+		{"tcp replicated coordinator", roleFlags{workersAddr: ":9000", replicas: 1, peers: ":9000,:9001,:9002", replicaID: 1}, nil},
+		{"tcp worker", roleFlags{serveAddr: ":9000", replicas: 1}, nil},
+
+		{"dist and workers-addr conflict", roleFlags{dist: 2, workersAddr: ":9000", replicas: 1},
+			[]string{"-dist", "-workers-addr"}},
+		{"serve and dist conflict", roleFlags{serveAddr: ":9000", dist: 2, replicas: 1},
+			[]string{"-serve", "-dist"}},
+		{"serve and workers-addr conflict", roleFlags{serveAddr: ":9000", workersAddr: ":9001", replicas: 1},
+			[]string{"-serve", "-workers-addr"}},
+		{"zero replicas", roleFlags{replicas: 0}, []string{"-replicas"}},
+		{"replicas without a fabric", roleFlags{replicas: 3}, []string{"-replicas", "-dist"}},
+		{"peers without workers-addr", roleFlags{replicas: 1, peers: ":9000,:9001"},
+			[]string{"-peers", "-workers-addr"}},
+		{"replica-id without peers", roleFlags{workersAddr: ":9000", replicas: 1, replicaID: 1},
+			[]string{"-replica-id", "-peers"}},
+		{"negative kills", roleFlags{dist: 2, replicas: 3, leaderKill: -1}, []string{"-leader-kill"}},
+		{"kill without dist", roleFlags{replicas: 1, leaderKill: 1}, []string{"-leader-kill", "-dist"}},
+		{"kill without quorum", roleFlags{dist: 2, replicas: 1, leaderKill: 1},
+			[]string{"-leader-kill", "-replicas"}},
+		{"kill beyond quorum headroom", roleFlags{dist: 2, replicas: 3, leaderKill: 2},
+			[]string{"3-replica", "at most 1"}},
+		{"kill beyond quorum headroom five replicas", roleFlags{dist: 2, replicas: 5, leaderKill: 3},
+			[]string{"5-replica", "at most 2"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.f)
+			if len(tc.wantErr) == 0 {
+				if err != nil {
+					t.Fatalf("valid combination rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("contradictory combination accepted")
+			}
+			for _, want := range tc.wantErr {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not name %q", err, want)
+				}
+			}
+		})
+	}
+}

@@ -36,6 +36,13 @@ type shard struct {
 	sketch *sketch.Set // nil unless Options.Stream is set
 	batch  *trace.Batch
 
+	// snap is the current virtual disk's sketch delta, present only when
+	// Options.Snapshots is set: it receives the same batches as the shard's
+	// cumulative set and is folded into the sink when the disk completes.
+	snap    *sketch.Set
+	snapCfg sketch.Config
+	sink    *SnapshotSink
+
 	// em is the per-VD fill state behind emitFn; emitFn is bound once per
 	// shard so the event generator callback costs no per-VD closure.
 	em     vdEmitter
@@ -62,6 +69,9 @@ func (sh *shard) flush() {
 	if sh.sketch != nil {
 		sh.sketch.ObserveBatch(sh.batch)
 	}
+	if sh.snap != nil {
+		sh.snap.ObserveBatch(sh.batch)
+	}
 	sh.batch.Reset()
 }
 
@@ -76,6 +86,10 @@ func (s *Sim) newShards(workers int, opts *Options, streamCfg sketch.Config) []*
 		sh.emitFn = sh.em.emit
 		if opts.Stream != nil {
 			sh.sketch = sketch.NewSet(streamCfg)
+		}
+		if opts.Snapshots != nil {
+			sh.sink = opts.Snapshots
+			sh.snapCfg = streamCfg
 		}
 		shards[i] = sh
 	}
@@ -368,6 +382,9 @@ func (s *Sim) simulateVD(sh *shard, vdIdx int, opts *Options, table *latency.Tab
 	rng := xrand.Get(latencySeed(opts.Seed, vdID))
 	defer rng.Release()
 	sh.tracer.StartStream(vdIDBase(vdID))
+	if sh.sink != nil {
+		sh.snap = sketch.NewSet(sh.snapCfg)
+	}
 
 	sh.em = vdEmitter{
 		sh:         sh,
@@ -388,6 +405,12 @@ func (s *Sim) simulateVD(sh *shard, vdIdx int, opts *Options, table *latency.Tab
 	}
 	s.fleet.GenEventsBoostedOver(vdID, sh.series, opts.EventSampleEvery, boost, sh.emitFn)
 	sh.flush()
+	if sh.sink != nil {
+		// The disk is complete: hand its delta to the sink (which consumes
+		// it) so concurrent snapshot readers see whole-disk increments only.
+		sh.sink.fold(sh.snap, sh.snapCfg)
+		sh.snap = nil
+	}
 	return sh.em.genErr
 }
 

@@ -75,6 +75,13 @@ type Options struct {
 	// memory is independent of the IO count; see DESIGN.md, "Streaming
 	// sketch analytics".
 	Stream *sketch.Set
+	// Snapshots, when non-nil (requires Stream), receives a monotone mid-run
+	// view of the streaming sketch state: after each virtual disk completes,
+	// its sketch delta is folded into the sink under the sink's own lock, so
+	// another goroutine can serve incremental snapshots while the run
+	// executes. Like Progress, the sink never crosses the wire — distributed
+	// runs snapshot from the coordinator's accepted shard partials instead.
+	Snapshots *SnapshotSink
 	// Latency overrides the latency model (default latency.Default()).
 	Latency *latency.Model
 	// Seed overrides the base seed of the per-VD latency sampling streams
@@ -135,6 +142,9 @@ func (o Options) Validate() error {
 		if err := o.Chaos.Validate(); err != nil {
 			return fmt.Errorf("ebs: Options.Chaos: %w", err)
 		}
+	}
+	if o.Snapshots != nil && o.Stream == nil {
+		return fmt.Errorf("ebs: Options.Snapshots requires Options.Stream (snapshots are views of the streaming sketch state)")
 	}
 	return nil
 }

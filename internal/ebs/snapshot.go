@@ -1,0 +1,63 @@
+package ebs
+
+import (
+	"sync"
+
+	"ebslab/internal/sketch"
+)
+
+// SnapshotSink receives a monotone mid-run view of a streaming run's sketch
+// state: after each virtual disk completes, the engine folds that disk's
+// sketch delta into the sink, so a concurrent reader (the gateway's
+// StreamSnapshot op) can encode approximate quantiles and top-K rankings
+// while the run is still executing. Because every sketch component combines
+// as a commutative monoid over per-IO contributions, the sink's state after
+// the last fold is fingerprint-identical to the run's final merged
+// Options.Stream set — the streamed-vs-final identity the gateway tests pin.
+//
+// The zero value is ready to use; hand it to Options.Snapshots (which
+// requires Options.Stream). All methods are safe for concurrent use.
+type SnapshotSink struct {
+	mu  sync.Mutex
+	set *sketch.Set
+	vds int
+	seq uint64
+}
+
+// fold merges one completed disk's sketch delta. The delta is consumed
+// (Set.Merge steals state); the engine hands over a per-VD scratch set it
+// never touches again.
+func (k *SnapshotSink) fold(delta *sketch.Set, cfg sketch.Config) {
+	k.mu.Lock()
+	if k.set == nil {
+		k.set = sketch.NewSet(cfg)
+	}
+	k.set.Merge(delta)
+	k.vds++
+	k.seq++
+	k.mu.Unlock()
+}
+
+// Snapshot returns the binary encoding (sketch.DecodeSet reverses it) of the
+// sketch state folded so far, the number of completed virtual disks, and a
+// sequence number that increases with every fold. Before the first fold it
+// returns (nil, 0, 0).
+func (k *SnapshotSink) Snapshot() (enc []byte, vds int, seq uint64) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.set == nil {
+		return nil, 0, 0
+	}
+	return k.set.EncodeBinary(), k.vds, k.seq
+}
+
+// Fingerprint returns the canonical digest of the folded sketch state, or ""
+// before the first fold.
+func (k *SnapshotSink) Fingerprint() string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.set == nil {
+		return ""
+	}
+	return k.set.Fingerprint()
+}

@@ -1,0 +1,71 @@
+package ebs
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"ebslab/internal/sketch"
+)
+
+// TestSnapshotSinkStreamedEqualsFinal pins the gateway's streamed-vs-final
+// contract at the engine layer: a run with a SnapshotSink folds per-VD sketch
+// deltas whose merged state, after the last disk, is fingerprint-identical to
+// the run's final Options.Stream set — i.e. the snapshot stream converges on
+// exactly the answer a tenant would get by waiting for completion. A mid-run
+// snapshot (taken from the Progress hook) must already decode and carry IOs.
+func TestSnapshotSinkStreamedEqualsFinal(t *testing.T) {
+	fleet := smallFleet(t)
+	sim := New(fleet)
+
+	final := sketch.NewSet(sketch.Config{})
+	sink := &SnapshotSink{}
+	var midIOs atomic.Uint64
+	opts := Options{
+		MaxVDs:           12,
+		EventSampleEvery: 16,
+		Stream:           final,
+		Snapshots:        sink,
+		Progress: func(done, total int) {
+			if done != total/2 {
+				return
+			}
+			enc, vds, seq := sink.Snapshot()
+			if enc == nil || vds == 0 || seq == 0 {
+				t.Errorf("mid-run snapshot empty at %d/%d VDs", done, total)
+				return
+			}
+			set, err := sketch.DecodeSet(enc)
+			if err != nil {
+				t.Errorf("mid-run snapshot does not decode: %v", err)
+				return
+			}
+			midIOs.Store(set.Totals().IOs)
+		},
+	}
+	if _, err := sim.Run(nil, opts); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if midIOs.Load() == 0 {
+		t.Fatal("mid-run snapshot observed no IOs")
+	}
+	if got, want := sink.Fingerprint(), final.Fingerprint(); got != want {
+		t.Fatalf("streamed snapshot fingerprint %s != final sketch fingerprint %s", got, want)
+	}
+	_, vds, _ := sink.Snapshot()
+	if vds != 12 {
+		t.Fatalf("sink folded %d VDs, want 12", vds)
+	}
+	if final.Totals().IOs < midIOs.Load() {
+		t.Fatalf("final IOs %d < mid-run IOs %d: snapshots are not monotone", final.Totals().IOs, midIOs.Load())
+	}
+}
+
+// TestSnapshotsRequireStream pins the validation: a sink without a streaming
+// destination is a configuration error, not a silent no-op.
+func TestSnapshotsRequireStream(t *testing.T) {
+	fleet := smallFleet(t)
+	_, err := New(fleet).Run(nil, Options{MaxVDs: 2, Snapshots: &SnapshotSink{}})
+	if err == nil {
+		t.Fatal("Run accepted Snapshots without Stream")
+	}
+}

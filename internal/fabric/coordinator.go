@@ -23,6 +23,7 @@ import (
 	"ebslab/internal/ebs"
 	"ebslab/internal/invariant"
 	"ebslab/internal/netblock"
+	"ebslab/internal/sketch"
 	"ebslab/internal/trace"
 	"ebslab/internal/workload"
 )
@@ -381,6 +382,43 @@ func (co *Coordinator) Ledger() *invariant.ShardLedger {
 	var l *invariant.ShardLedger
 	co.runner.Read(func() { l = co.fsm.ledger() })
 	return l
+}
+
+// SketchSnapshot merges the sketch state of every shard result accepted so
+// far into a fresh set, reporting how many virtual disks it covers. This is
+// the distributed analogue of ebs.SnapshotSink: the gateway serves it to
+// tenants streaming a fabric-run study mid-flight. Ledger partials are
+// immutable once accepted, so they are re-encoded under the runner's lock
+// and merged from decoded copies outside it — the ledger is never mutated.
+// Before any result lands it returns (nil, 0, nil). Streaming runs only;
+// without Options.Stream the partials carry no sketch state and the
+// snapshot stays empty.
+func (co *Coordinator) SketchSnapshot() (*sketch.Set, int, error) {
+	var encs [][]byte
+	var vds int
+	co.runner.Read(func() {
+		for _, sh := range co.fsm.shards {
+			if sh.partial != nil && sh.partial.Sketch != nil {
+				encs = append(encs, sh.partial.Sketch.EncodeBinary())
+				vds += sh.r.Hi - sh.r.Lo
+			}
+		}
+	})
+	if len(encs) == 0 {
+		return nil, 0, nil
+	}
+	var merged *sketch.Set
+	for _, enc := range encs {
+		set, err := sketch.DecodeSet(enc)
+		if err != nil {
+			return nil, 0, fmt.Errorf("fabric: snapshot: %w", err)
+		}
+		if merged == nil {
+			merged = sketch.NewSet(set.Config())
+		}
+		merged.Merge(set)
+	}
+	return merged, vds, nil
 }
 
 // Wait blocks until every shard is accounted for (or ctx ends), then merges

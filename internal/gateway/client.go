@@ -1,0 +1,95 @@
+package gateway
+
+import (
+	"net"
+	"time"
+
+	"ebslab/internal/netblock"
+)
+
+// Client is a typed gateway client over one netblock connection. Methods are
+// safe for concurrent use (the underlying protocol multiplexes by request
+// ID). The gateway trusts its network — tenancy is declared, not
+// authenticated — exactly like the fabric trusts its workers.
+type Client struct {
+	c *netblock.Client
+}
+
+// Dial connects to a gateway over TCP.
+func Dial(addr string) (*Client, error) {
+	c, err := netblock.DialConfig("tcp", addr, netblock.Config{Timeout: 10 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+// NewClient wraps an established connection (harnesses dial a
+// fabric.Loopback and hand the conn here).
+func NewClient(conn net.Conn) *Client {
+	return &Client{c: netblock.NewClient(conn)}
+}
+
+// Close tears the connection down.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// Submit submits one study for tenant.
+func (cl *Client) Submit(tenant string, spec StudySpec) (SubmitReply, error) {
+	payload, err := cl.c.Call(netblock.OpSubmitStudy, EncodeSubmit(SubmitRequest{Tenant: tenant, Spec: spec}))
+	if err != nil {
+		return SubmitReply{}, err
+	}
+	var r SubmitReply
+	if err := fromJSON(payload, &r); err != nil {
+		return SubmitReply{}, err
+	}
+	return r, nil
+}
+
+// Status polls one study.
+func (cl *Client) Status(id uint64) (StatusReply, error) {
+	payload, err := cl.c.Call(netblock.OpStudyStatus, mustJSON(StatusRequest{StudyID: id}))
+	if err != nil {
+		return StatusReply{}, err
+	}
+	var r StatusReply
+	if err := fromJSON(payload, &r); err != nil {
+		return StatusReply{}, err
+	}
+	return r, nil
+}
+
+// Snapshot streams one incremental sketch snapshot of a study.
+func (cl *Client) Snapshot(id uint64) (SnapshotReply, error) {
+	payload, err := cl.c.Call(netblock.OpStreamSnapshot, EncodeSnapshotRequest(id))
+	if err != nil {
+		return SnapshotReply{}, err
+	}
+	return DecodeSnapshotReply(payload)
+}
+
+// Cancel cancels one study.
+func (cl *Client) Cancel(id uint64) (CancelReply, error) {
+	payload, err := cl.c.Call(netblock.OpCancelStudy, mustJSON(CancelRequest{StudyID: id}))
+	if err != nil {
+		return CancelReply{}, err
+	}
+	var r CancelReply
+	if err := fromJSON(payload, &r); err != nil {
+		return CancelReply{}, err
+	}
+	return r, nil
+}
+
+// TenantStats fetches one tenant's serving statistics.
+func (cl *Client) TenantStats(tenant string) (TenantStats, error) {
+	payload, err := cl.c.Call(netblock.OpTenantStats, mustJSON(StatsRequest{Tenant: tenant}))
+	if err != nil {
+		return TenantStats{}, err
+	}
+	var r TenantStats
+	if err := fromJSON(payload, &r); err != nil {
+		return TenantStats{}, err
+	}
+	return r, nil
+}

@@ -1,0 +1,163 @@
+// Package gateway is the serving plane: a persistent multi-tenant service
+// that accepts skewness-study submissions over the netblock protocol's
+// gateway ops (SubmitStudy, StudyStatus, StreamSnapshot, CancelStudy,
+// TenantStats), queues them FIFO per tenant behind token-bucket submission
+// caps, dequeues with weighted-fair queueing, and executes each study either
+// in-process (ebs.Run) or on the replicated fabric. Tenants can stream
+// incremental sketch snapshots of a running study and the final answer is
+// always byte-identical to a single-process run of the same spec — including
+// runs where chaos kills the acting fabric leader mid-study. See DESIGN.md,
+// "Serving plane".
+package gateway
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"ebslab/internal/ebs"
+	"ebslab/internal/workload"
+)
+
+// StudySpec is a tenant's study request: the seed-addressed slice of the
+// synthetic fleet to observe and how to sample it. The zero value of every
+// field except Seed means "gateway default" (see withDefaults); the mapping
+// from spec to fleet configuration and run options is exported precisely so
+// test oracles can run the identical study through ebs.Run directly.
+type StudySpec struct {
+	// Seed selects the fleet (same seed, same fleet, same traffic).
+	Seed int64
+	// DurationSec is the observation window (default 8).
+	DurationSec int
+	// Nodes is the compute-node count of the single-DC study fleet
+	// (default 4).
+	Nodes int
+	// Users is the tenant count inside the study fleet (default 16).
+	Users int
+	// MaxVDs bounds how many virtual disks are simulated (0 = all).
+	MaxVDs int
+	// EventSampleEvery thins the generated IO stream (default 8).
+	EventSampleEvery int
+	// TraceSampleEvery is the per-IO trace sampling rate (default 1).
+	TraceSampleEvery int
+	// Shards is the fabric shard count for distributed execution (0 =
+	// fabric default; ignored for in-process execution).
+	Shards int
+	// LeaderKills schedules chaos kills of the acting fabric leader
+	// mid-study. Requires the gateway to run a replicated fabric.
+	LeaderKills int
+	// Check runs the invariant suite over the study.
+	Check bool
+}
+
+// Spec bounds: the gateway decodes specs from untrusted connections, so every
+// dimension is capped to what the serving host can actually execute.
+const (
+	maxTenantLen  = 64
+	maxDuration   = 3600
+	maxNodes      = 1024
+	maxUsers      = 4096
+	maxSpecVDs    = 1 << 20
+	maxSampling   = 1 << 20
+	maxSpecShards = 256
+	maxKills      = 8
+)
+
+// withDefaults fills zero-valued dimensions with the gateway's laptop-scale
+// study defaults. Submissions are normalized before keying, so two specs that
+// differ only in spelled-out defaults content-address identically.
+func (s StudySpec) withDefaults() StudySpec {
+	if s.DurationSec == 0 {
+		s.DurationSec = 8
+	}
+	if s.Nodes == 0 {
+		s.Nodes = 4
+	}
+	if s.Users == 0 {
+		s.Users = 16
+	}
+	if s.EventSampleEvery == 0 {
+		s.EventSampleEvery = 8
+	}
+	if s.TraceSampleEvery == 0 {
+		s.TraceSampleEvery = 1
+	}
+	return s
+}
+
+// Validate bounds a normalized spec. Call after withDefaults.
+func (s StudySpec) Validate() error {
+	for _, c := range []struct {
+		name    string
+		v       int
+		min, mx int
+	}{
+		{"DurationSec", s.DurationSec, 1, maxDuration},
+		{"Nodes", s.Nodes, 1, maxNodes},
+		{"Users", s.Users, 1, maxUsers},
+		{"MaxVDs", s.MaxVDs, 0, maxSpecVDs},
+		{"EventSampleEvery", s.EventSampleEvery, 1, maxSampling},
+		{"TraceSampleEvery", s.TraceSampleEvery, 1, maxSampling},
+		{"Shards", s.Shards, 0, maxSpecShards},
+		{"LeaderKills", s.LeaderKills, 0, maxKills},
+	} {
+		if c.v < c.min || c.v > c.mx {
+			return fmt.Errorf("gateway: spec %s is %d, want [%d, %d]", c.name, c.v, c.min, c.mx)
+		}
+	}
+	return nil
+}
+
+// FleetConfig maps the spec onto a workload generation recipe, using the same
+// single-DC projection as cmd/ebssim so a gateway study and a CLI run of the
+// same dimensions observe the identical fleet.
+func (s StudySpec) FleetConfig() workload.Config {
+	s = s.withDefaults()
+	cfg := workload.DefaultConfig()
+	cfg.Seed = s.Seed
+	cfg.DCs = 1
+	cfg.NodesPerDC = s.Nodes
+	cfg.BSPerDC = 12
+	cfg.BSPerCluster = 6
+	cfg.Users = s.Users
+	cfg.DurationSec = s.DurationSec
+	return cfg
+}
+
+// RunOptions maps the spec onto engine options. The gateway adds its own
+// Stream/Snapshots destinations per execution; chaos leader kills are fabric
+// configuration, not engine options, and are likewise added at run time.
+func (s StudySpec) RunOptions() ebs.Options {
+	s = s.withDefaults()
+	return ebs.Options{
+		DurationSec:      s.DurationSec,
+		TraceSampleEvery: s.TraceSampleEvery,
+		EventSampleEvery: s.EventSampleEvery,
+		MaxVDs:           s.MaxVDs,
+		Check:            s.Check,
+	}
+}
+
+// key is the spec's content address: the hash of its canonical (normalized,
+// fixed-width) encoding. Completed studies are stored under this key, so a
+// re-submission of an identical spec — by any tenant — is answered from the
+// finished result instead of re-running the study.
+func (s StudySpec) key() string {
+	s = s.withDefaults()
+	var b [41]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(s.Seed))
+	binary.LittleEndian.PutUint32(b[8:], uint32(s.DurationSec))
+	binary.LittleEndian.PutUint32(b[12:], uint32(s.Nodes))
+	binary.LittleEndian.PutUint32(b[16:], uint32(s.Users))
+	binary.LittleEndian.PutUint32(b[20:], uint32(s.MaxVDs))
+	binary.LittleEndian.PutUint32(b[24:], uint32(s.EventSampleEvery))
+	binary.LittleEndian.PutUint32(b[28:], uint32(s.TraceSampleEvery))
+	binary.LittleEndian.PutUint32(b[32:], uint32(s.Shards))
+	binary.LittleEndian.PutUint32(b[36:], uint32(s.LeaderKills))
+	if s.Check {
+		b[40] = 1
+	}
+	sum := sha256.Sum256(b[:])
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,300 @@
+package gateway
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// ErrWire reports a malformed gateway frame.
+var ErrWire = errors.New("gateway: malformed message")
+
+// Study lifecycle states, in wire order. A study is Queued from admission
+// until the scheduler grants it a run slot, Running until its execution
+// returns, then exactly one of Done, Failed, or Canceled.
+const (
+	StateQueued uint8 = iota + 1
+	StateRunning
+	StateDone
+	StateFailed
+	StateCanceled
+)
+
+// StateName renders a state for JSON replies and logs.
+func StateName(s uint8) string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("state-%d", s)
+}
+
+// SubmitRequest is the OpSubmitStudy payload: who is asking and what to run.
+type SubmitRequest struct {
+	Tenant string
+	Spec   StudySpec
+}
+
+// submitMagic versions the submit frame; snapMagic the snapshot reply.
+var (
+	submitMagic = []byte("EBG1")
+	snapMagic   = []byte("EBG3")
+)
+
+// EncodeSubmit frames a submission for the wire:
+//
+//	"EBG1" | u8 tenantLen | tenant
+//	      | i64 seed | u32 dur | u32 nodes | u32 users | u32 maxVDs
+//	      | u32 eventSample | u32 traceSample | u32 shards | u32 kills
+//	      | u8 check
+//
+// Integers are little-endian, matching the netblock frame the payload rides
+// in. The binary layout (rather than JSON) is what makes the decoder an
+// honest fuzz target: every byte means something.
+func EncodeSubmit(r SubmitRequest) []byte {
+	b := make([]byte, 0, 5+len(r.Tenant)+41)
+	b = append(b, submitMagic...)
+	b = append(b, uint8(len(r.Tenant)))
+	b = append(b, r.Tenant...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(r.Spec.Seed))
+	for _, v := range []int{
+		r.Spec.DurationSec, r.Spec.Nodes, r.Spec.Users, r.Spec.MaxVDs,
+		r.Spec.EventSampleEvery, r.Spec.TraceSampleEvery, r.Spec.Shards,
+		r.Spec.LeaderKills,
+	} {
+		b = binary.LittleEndian.AppendUint32(b, uint32(v))
+	}
+	if r.Spec.Check {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// DecodeSubmit parses a submit frame. A frame either decodes completely —
+// magic, tenant, every spec field, no trailing bytes — or not at all; spec
+// bounds are enforced later at admission (Validate), tenant well-formedness
+// here, so a hostile frame cannot allocate or run anything.
+func DecodeSubmit(b []byte) (SubmitRequest, error) {
+	var r SubmitRequest
+	if len(b) < len(submitMagic)+1 || string(b[:len(submitMagic)]) != string(submitMagic) {
+		return r, fmt.Errorf("%w: bad submit magic", ErrWire)
+	}
+	b = b[len(submitMagic):]
+	tl := int(b[0])
+	b = b[1:]
+	if tl == 0 || tl > maxTenantLen || len(b) < tl {
+		return r, fmt.Errorf("%w: tenant length %d", ErrWire, tl)
+	}
+	r.Tenant = string(b[:tl])
+	for _, c := range r.Tenant {
+		if c < 0x21 || c > 0x7e {
+			return r, fmt.Errorf("%w: tenant name contains %q", ErrWire, c)
+		}
+	}
+	b = b[tl:]
+	if len(b) != 8+8*4+1 {
+		return r, fmt.Errorf("%w: submit spec is %d bytes, want %d", ErrWire, len(b), 8+8*4+1)
+	}
+	r.Spec.Seed = int64(binary.LittleEndian.Uint64(b))
+	b = b[8:]
+	dst := []*int{
+		&r.Spec.DurationSec, &r.Spec.Nodes, &r.Spec.Users, &r.Spec.MaxVDs,
+		&r.Spec.EventSampleEvery, &r.Spec.TraceSampleEvery, &r.Spec.Shards,
+		&r.Spec.LeaderKills,
+	}
+	for _, p := range dst {
+		*p = int(int32(binary.LittleEndian.Uint32(b)))
+		b = b[4:]
+	}
+	switch b[0] {
+	case 0:
+	case 1:
+		r.Spec.Check = true
+	default:
+		return r, fmt.Errorf("%w: check flag %d", ErrWire, b[0])
+	}
+	return r, nil
+}
+
+// SnapshotReply is the OpStreamSnapshot answer: where the study is and, once
+// it runs, the incremental sketch state covering every virtual disk (local
+// execution) or shard (fabric execution) completed so far. Seq is a monotone
+// progress counter; Sketch is sketch.Set binary (empty until the first unit
+// of work lands). SketchFP fingerprints exactly the returned state, so a
+// tenant can verify the stream converges on the final answer.
+type SnapshotReply struct {
+	StudyID  uint64
+	State    uint8
+	Seq      uint64
+	VDsDone  uint32
+	VDsTotal uint32
+	SketchFP string
+	Sketch   []byte
+}
+
+// EncodeSnapshotReply frames a snapshot:
+//
+//	"EBG3" | u64 id | u8 state | u64 seq | u32 vdsDone | u32 vdsTotal
+//	      | u8 fpLen | fp | u32 sketchLen | sketch
+func EncodeSnapshotReply(r SnapshotReply) []byte {
+	b := make([]byte, 0, 4+8+1+8+4+4+1+len(r.SketchFP)+4+len(r.Sketch))
+	b = append(b, snapMagic...)
+	b = binary.LittleEndian.AppendUint64(b, r.StudyID)
+	b = append(b, r.State)
+	b = binary.LittleEndian.AppendUint64(b, r.Seq)
+	b = binary.LittleEndian.AppendUint32(b, r.VDsDone)
+	b = binary.LittleEndian.AppendUint32(b, r.VDsTotal)
+	b = append(b, uint8(len(r.SketchFP)))
+	b = append(b, r.SketchFP...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Sketch)))
+	b = append(b, r.Sketch...)
+	return b
+}
+
+// DecodeSnapshotReply parses a snapshot frame, rejecting short bodies,
+// oversized length prefixes, and trailing bytes. The sketch bytes are not
+// decoded here — the caller hands them to sketch.DecodeSet when it wants the
+// state, and that decoder does its own validation.
+func DecodeSnapshotReply(b []byte) (SnapshotReply, error) {
+	var r SnapshotReply
+	if len(b) < len(snapMagic) || string(b[:len(snapMagic)]) != string(snapMagic) {
+		return r, fmt.Errorf("%w: bad snapshot magic", ErrWire)
+	}
+	b = b[len(snapMagic):]
+	if len(b) < 8+1+8+4+4+1 {
+		return r, fmt.Errorf("%w: snapshot header short", ErrWire)
+	}
+	r.StudyID = binary.LittleEndian.Uint64(b)
+	r.State = b[8]
+	r.Seq = binary.LittleEndian.Uint64(b[9:])
+	r.VDsDone = binary.LittleEndian.Uint32(b[17:])
+	r.VDsTotal = binary.LittleEndian.Uint32(b[21:])
+	fpLen := int(b[25])
+	b = b[26:]
+	if len(b) < fpLen+4 {
+		return r, fmt.Errorf("%w: fingerprint length %d", ErrWire, fpLen)
+	}
+	r.SketchFP = string(b[:fpLen])
+	b = b[fpLen:]
+	skLen := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if len(b) != skLen {
+		return r, fmt.Errorf("%w: sketch length %d with %d bytes left", ErrWire, skLen, len(b))
+	}
+	if skLen > 0 {
+		r.Sketch = append([]byte(nil), b...)
+	}
+	return r, nil
+}
+
+// EncodeSnapshotRequest frames an OpStreamSnapshot request: the study ID as
+// a little-endian u64.
+func EncodeSnapshotRequest(id uint64) []byte {
+	return binary.LittleEndian.AppendUint64(nil, id)
+}
+
+// DecodeSnapshotRequest parses the 8-byte study-ID payload.
+func DecodeSnapshotRequest(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("%w: snapshot request is %d bytes, want 8", ErrWire, len(b))
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// --- JSON control messages --------------------------------------------------
+//
+// The low-rate control ops (status, cancel, per-tenant stats) and the submit
+// reply travel as JSON, matching the fabric's control-plane idiom.
+
+// SubmitReply answers OpSubmitStudy.
+type SubmitReply struct {
+	StudyID uint64
+	State   string
+	// Deduped is set when the submission was answered from a completed
+	// study with the same content address; StudyID is that study's.
+	Deduped bool
+}
+
+// StatusRequest asks for one study's status.
+type StatusRequest struct {
+	StudyID uint64
+}
+
+// StatusReply is the study's full lifecycle view.
+type StatusReply struct {
+	StudyID  uint64
+	Tenant   string
+	State    string
+	QueuePos int `json:",omitempty"` // 0 = head of the tenant queue
+	VDsDone  int
+	VDsTotal int
+	// DatasetFP is the invariant fingerprint of the completed dataset;
+	// SketchFP the final streaming-sketch fingerprint. Both empty until
+	// the study completes.
+	DatasetFP string `json:",omitempty"`
+	SketchFP  string `json:",omitempty"`
+	// Kills counts the chaos leader kills that actually fired during a
+	// fabric execution of the study.
+	Kills int    `json:",omitempty"`
+	Error string `json:",omitempty"`
+}
+
+// CancelRequest cancels one study.
+type CancelRequest struct {
+	StudyID uint64
+}
+
+// CancelReply reports the state the study ended in.
+type CancelReply struct {
+	State string
+}
+
+// StatsRequest asks for one tenant's serving statistics.
+type StatsRequest struct {
+	Tenant string
+}
+
+// TenantStats is a tenant's accounting view: its study ledger, its current
+// token balance, and its grant log (seconds since the gateway started) — the
+// inputs of the invariant.CheckGrantPacing law.
+type TenantStats struct {
+	Tenant          string
+	Submitted       int
+	Rejected        int
+	Deduped         int
+	Granted         int
+	Completed       int
+	Failed          int
+	CanceledQueued  int
+	CanceledRunning int
+	Queued          int
+	Running         int
+	Tokens          int
+	GrantsAtSec     []float64 `json:",omitempty"`
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("gateway: marshal %T: %v", v, err))
+	}
+	return b
+}
+
+func fromJSON(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%w: %v", ErrWire, err)
+	}
+	return nil
+}

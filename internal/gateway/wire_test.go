@@ -1,0 +1,139 @@
+package gateway
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSubmitCodecRoundTrip(t *testing.T) {
+	reqs := []SubmitRequest{
+		{Tenant: "alice", Spec: StudySpec{Seed: 42}},
+		{Tenant: "b", Spec: StudySpec{
+			Seed: -7, DurationSec: 8, Nodes: 4, Users: 16, MaxVDs: 100,
+			EventSampleEvery: 8, TraceSampleEvery: 1, Shards: 5, LeaderKills: 1,
+			Check: true,
+		}},
+		{Tenant: "tenant-64-chars-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", Spec: StudySpec{}},
+	}
+	for _, want := range reqs {
+		enc := EncodeSubmit(want)
+		got, err := DecodeSubmit(enc)
+		if err != nil {
+			t.Fatalf("DecodeSubmit(%q): %v", want.Tenant, err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+		if !bytes.Equal(EncodeSubmit(got), enc) {
+			t.Fatalf("re-encode of %q is not canonical", want.Tenant)
+		}
+	}
+}
+
+func TestSubmitCodecRejectsMalformed(t *testing.T) {
+	valid := EncodeSubmit(SubmitRequest{Tenant: "alice", Spec: StudySpec{Seed: 1}})
+	cases := map[string][]byte{
+		"empty":              nil,
+		"bad magic":          append([]byte("EBGX"), valid[4:]...),
+		"zero tenant length": append(append([]byte("EBG1"), 0), valid[10:]...),
+		"oversized tenant":   append(append([]byte("EBG1"), 200), valid[5:]...),
+		"unprintable tenant": EncodeSubmit(SubmitRequest{Tenant: "a b", Spec: StudySpec{}}),
+		"truncated spec":     valid[:len(valid)-3],
+		"trailing byte":      append(append([]byte(nil), valid...), 0),
+		"check flag 2":       append(append([]byte(nil), valid[:len(valid)-1]...), 2),
+	}
+	for name, frame := range cases {
+		if _, err := DecodeSubmit(frame); !errors.Is(err, ErrWire) {
+			t.Errorf("%s: got %v, want ErrWire", name, err)
+		}
+	}
+}
+
+func TestSnapshotReplyCodecRoundTrip(t *testing.T) {
+	reps := []SnapshotReply{
+		{StudyID: 1, State: StateQueued},
+		{StudyID: 9, State: StateRunning, Seq: 3, VDsDone: 7, VDsTotal: 20,
+			SketchFP: "sha256:abcdef", Sketch: []byte{1, 2, 3, 0, 255}},
+	}
+	for _, want := range reps {
+		enc := EncodeSnapshotReply(want)
+		got, err := DecodeSnapshotReply(enc)
+		if err != nil {
+			t.Fatalf("DecodeSnapshotReply: %v", err)
+		}
+		if got.StudyID != want.StudyID || got.State != want.State || got.Seq != want.Seq ||
+			got.VDsDone != want.VDsDone || got.VDsTotal != want.VDsTotal ||
+			got.SketchFP != want.SketchFP || !bytes.Equal(got.Sketch, want.Sketch) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+		if !bytes.Equal(EncodeSnapshotReply(got), enc) {
+			t.Fatal("re-encode is not canonical")
+		}
+	}
+}
+
+func TestSnapshotReplyCodecRejectsMalformed(t *testing.T) {
+	valid := EncodeSnapshotReply(SnapshotReply{StudyID: 2, State: StateDone, SketchFP: "fp", Sketch: []byte{9}})
+	cases := map[string][]byte{
+		"empty":          nil,
+		"bad magic":      append([]byte("EBG9"), valid[4:]...),
+		"short header":   valid[:10],
+		"fp overrun":     append(append([]byte(nil), valid[:29]...), 255),
+		"sketch overrun": valid[:len(valid)-1],
+		"trailing byte":  append(append([]byte(nil), valid...), 0),
+	}
+	for name, frame := range cases {
+		if _, err := DecodeSnapshotReply(frame); !errors.Is(err, ErrWire) {
+			t.Errorf("%s: got %v, want ErrWire", name, err)
+		}
+	}
+}
+
+func TestSnapshotRequestCodec(t *testing.T) {
+	id, err := DecodeSnapshotRequest(EncodeSnapshotRequest(77))
+	if err != nil || id != 77 {
+		t.Fatalf("got (%d, %v), want (77, nil)", id, err)
+	}
+	for _, bad := range [][]byte{nil, {1, 2, 3}, make([]byte, 9)} {
+		if _, err := DecodeSnapshotRequest(bad); !errors.Is(err, ErrWire) {
+			t.Errorf("len %d: got %v, want ErrWire", len(bad), err)
+		}
+	}
+}
+
+// FuzzGatewayCodec drives every binary gateway decoder with arbitrary bytes.
+// The contract under fuzz: a decoder either rejects the frame with an error
+// wrapping ErrWire, or accepts it — and an accepted frame must re-encode to
+// the identical bytes (the codecs are bijective, so no two frames decode to
+// the same value and nothing on the wire is ignored).
+func FuzzGatewayCodec(f *testing.F) {
+	f.Add(EncodeSubmit(SubmitRequest{Tenant: "alice", Spec: StudySpec{Seed: 42, DurationSec: 8, Shards: 5, LeaderKills: 1, Check: true}}))
+	f.Add(EncodeSnapshotReply(SnapshotReply{StudyID: 3, State: StateRunning, Seq: 2, VDsDone: 4, VDsTotal: 9, SketchFP: "fp", Sketch: []byte{1, 2}}))
+	f.Add(EncodeSnapshotRequest(123456))
+	f.Add([]byte("EBG1"))
+	f.Add([]byte("EBG3 not a frame"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if sub, err := DecodeSubmit(data); err == nil {
+			if !bytes.Equal(EncodeSubmit(sub), data) {
+				t.Fatalf("submit re-encode diverges for %x", data)
+			}
+		} else if !errors.Is(err, ErrWire) {
+			t.Fatalf("DecodeSubmit error %v does not wrap ErrWire", err)
+		}
+		if rep, err := DecodeSnapshotReply(data); err == nil {
+			if !bytes.Equal(EncodeSnapshotReply(rep), data) {
+				t.Fatalf("snapshot re-encode diverges for %x", data)
+			}
+		} else if !errors.Is(err, ErrWire) {
+			t.Fatalf("DecodeSnapshotReply error %v does not wrap ErrWire", err)
+		}
+		if id, err := DecodeSnapshotRequest(data); err == nil {
+			if !bytes.Equal(EncodeSnapshotRequest(id), data) {
+				t.Fatalf("snapshot request re-encode diverges for %x", data)
+			}
+		} else if !errors.Is(err, ErrWire) {
+			t.Fatalf("DecodeSnapshotRequest error %v does not wrap ErrWire", err)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package invariant
+
+import "testing"
+
+func TestCheckGatewayAccounting(t *testing.T) {
+	cases := []struct {
+		name    string
+		l       StudyLedger
+		drained bool
+		ok      bool
+	}{
+		{
+			name: "clean drained session",
+			l: StudyLedger{
+				Submitted: 6, Rejected: 1, Deduped: 2,
+				Granted: 5, Completed: 4, Failed: 0,
+				CanceledQueued: 1, CanceledRunning: 1,
+			},
+			drained: true,
+			ok:      true,
+		},
+		{
+			name: "live session with work in flight",
+			l: StudyLedger{
+				Submitted: 4, Granted: 2,
+				Completed: 1, Queued: 2, Running: 1,
+			},
+			ok: true,
+		},
+		{
+			name:    "leaked job at drain",
+			l:       StudyLedger{Submitted: 2, Granted: 1, Completed: 1, Queued: 1},
+			drained: true,
+		},
+		{
+			name: "state sum does not cover submissions",
+			l:    StudyLedger{Submitted: 3, Granted: 1, Completed: 1},
+		},
+		{
+			name: "grants unaccounted by run states",
+			l:    StudyLedger{Submitted: 2, Granted: 2, Completed: 1, Queued: 1},
+		},
+		{
+			name: "negative counter",
+			l:    StudyLedger{Submitted: -1, Queued: -1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var rep Report
+			CheckGatewayAccounting(&rep, &tc.l, tc.drained)
+			if got := rep.OK(); got != tc.ok {
+				t.Fatalf("OK() = %v, want %v; report:\n%s", got, tc.ok, rep.String())
+			}
+		})
+	}
+}
+
+func TestCheckGrantPacing(t *testing.T) {
+	var rep Report
+	// rate 1/s, burst 2: two immediate grants then one per second is legal.
+	CheckGrantPacing(&rep, "a", 1, 2, []float64{0, 0, 1, 2, 3})
+	if !rep.OK() {
+		t.Fatalf("legal pacing flagged:\n%s", rep.String())
+	}
+	// Three grants in the same instant exceed burst 2.
+	var bad Report
+	CheckGrantPacing(&bad, "b", 1, 2, []float64{5, 5, 5})
+	if bad.OK() {
+		t.Fatal("burst violation not flagged")
+	}
+	// Out-of-order log is itself a violation.
+	var ooo Report
+	CheckGrantPacing(&ooo, "c", 1, 2, []float64{2, 1})
+	if ooo.OK() {
+		t.Fatal("out-of-order grant log not flagged")
+	}
+}

@@ -25,7 +25,10 @@ type OpCode uint8
 // AppendEntries carry internal/consensus messages between coordinator
 // replicas, and RedirectLeader lets any client ask any replica who is
 // currently leading (internal/consensus and internal/fabric define the
-// bodies).
+// bodies). The gateway ops are the multi-tenant serving plane — tenants
+// submit studies, poll their status, stream mid-run sketch snapshots,
+// cancel, and read their own accounting; internal/gateway defines the
+// bodies.
 const (
 	OpRead OpCode = iota + 1
 	OpWrite
@@ -40,13 +43,18 @@ const (
 	OpRequestVote
 	OpAppendEntries
 	OpRedirectLeader
+	OpSubmitStudy
+	OpStudyStatus
+	OpStreamSnapshot
+	OpCancelStudy
+	OpTenantStats
 )
 
 // Valid reports whether o is a defined protocol operation. The codec
 // rejects undefined opcodes on both sides: the client refuses to encode
 // them, and the server refuses to decode them (an unknown opcode makes the
 // frame length ambiguous, so the connection cannot be resynchronized).
-func (o OpCode) Valid() bool { return o >= OpRead && o <= OpRedirectLeader }
+func (o OpCode) Valid() bool { return o >= OpRead && o <= OpTenantStats }
 
 // carriesPayload reports whether a request of this op carries Length bytes
 // of payload after its header. Block reads describe their payload size but
@@ -98,6 +106,16 @@ func (o OpCode) String() string {
 		return "append-entries"
 	case OpRedirectLeader:
 		return "redirect-leader"
+	case OpSubmitStudy:
+		return "submit-study"
+	case OpStudyStatus:
+		return "study-status"
+	case OpStreamSnapshot:
+		return "stream-snapshot"
+	case OpCancelStudy:
+		return "cancel-study"
+	case OpTenantStats:
+		return "tenant-stats"
 	}
 	return fmt.Sprintf("OpCode(%d)", uint8(o))
 }

@@ -1,0 +1,79 @@
+package throttle
+
+import "time"
+
+// TokenBucket is the continuous-refill token bucket behind the gateway's
+// per-tenant submission caps — the same queue-don't-drop discipline the
+// per-VD simulator applies to block IO (§5), lifted to the serving plane:
+// a submission beyond the bucket waits in its tenant's FIFO queue until
+// tokens accrue; nothing is discarded.
+//
+// The bucket is driven entirely by the timestamps handed to its methods, so
+// callers own the clock (tests pass a testclock.Clock's Now) and replays are
+// deterministic. It is not safe for concurrent use; the gateway serializes
+// access under its own lock.
+type TokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket returns a bucket refilling at rate tokens/s with capacity
+// burst, full at time now. Non-positive rate or burst are clamped to a
+// minimal working bucket (1 token, never refilled / 1 token capacity).
+func NewTokenBucket(rate, burst float64, now time.Time) *TokenBucket {
+	if burst <= 0 {
+		burst = 1
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// refill accrues tokens for the time elapsed since the last observation.
+// A clock that moved backward accrues nothing (and does not drain).
+func (b *TokenBucket) refill(now time.Time) {
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	if now.After(b.last) {
+		b.last = now
+	}
+}
+
+// Take consumes one token if a whole one is available and reports whether it
+// did. A false return means the caller must queue — never drop.
+func (b *TokenBucket) Take(now time.Time) bool {
+	b.refill(now)
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens returns the whole tokens available at now.
+func (b *TokenBucket) Tokens(now time.Time) int {
+	b.refill(now)
+	return int(b.tokens)
+}
+
+// NextAt returns the earliest time one whole token will be available. When a
+// token is already available it returns now; when the bucket never refills
+// (rate 0) and is empty it returns the zero time, meaning "never".
+func (b *TokenBucket) NextAt(now time.Time) time.Time {
+	b.refill(now)
+	if b.tokens >= 1 {
+		return now
+	}
+	if b.rate <= 0 {
+		return time.Time{}
+	}
+	need := (1 - b.tokens) / b.rate
+	return now.Add(time.Duration(need * float64(time.Second)))
+}

@@ -1,0 +1,76 @@
+package throttle
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketBurstThenRefill(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	b := NewTokenBucket(2, 3, t0) // 2 tokens/s, capacity 3, starts full
+
+	for i := 0; i < 3; i++ {
+		if !b.Take(t0) {
+			t.Fatalf("take %d within burst failed", i)
+		}
+	}
+	if b.Take(t0) {
+		t.Fatal("take beyond burst succeeded with no time elapsed")
+	}
+	if got := b.Tokens(t0); got != 0 {
+		t.Fatalf("tokens after burst drain = %d, want 0", got)
+	}
+
+	// 0.5s at 2 tokens/s accrues exactly one token.
+	t1 := t0.Add(500 * time.Millisecond)
+	if want := t1; !b.NextAt(t0).Equal(want) {
+		t.Fatalf("NextAt = %v, want %v", b.NextAt(t0), want)
+	}
+	if !b.Take(t1) {
+		t.Fatal("take after refill window failed")
+	}
+	if b.Take(t1) {
+		t.Fatal("second take after a one-token refill succeeded")
+	}
+}
+
+func TestTokenBucketCapsAtBurst(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	b := NewTokenBucket(10, 2, t0)
+	// A long idle period must not bank more than the burst capacity.
+	t1 := t0.Add(time.Hour)
+	if got := b.Tokens(t1); got != 2 {
+		t.Fatalf("tokens after long idle = %d, want burst 2", got)
+	}
+}
+
+func TestTokenBucketBackwardClock(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := NewTokenBucket(1, 1, t0)
+	if !b.Take(t0) {
+		t.Fatal("initial take failed")
+	}
+	// Time moving backward neither drains nor accrues.
+	back := t0.Add(-time.Minute)
+	if got := b.Tokens(back); got != 0 {
+		t.Fatalf("tokens after backward clock = %d, want 0", got)
+	}
+	// And the original anchor still governs the refill.
+	if !b.Take(t0.Add(time.Second)) {
+		t.Fatal("take one second later failed")
+	}
+}
+
+func TestTokenBucketZeroRate(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	b := NewTokenBucket(0, 1, t0)
+	if !b.Take(t0) {
+		t.Fatal("burst take failed")
+	}
+	if !b.NextAt(t0).IsZero() {
+		t.Fatal("an empty zero-rate bucket should report no next token")
+	}
+	if b.Take(t0.Add(time.Hour)) {
+		t.Fatal("zero-rate bucket refilled")
+	}
+}
