@@ -9,7 +9,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test race vet bench bench-gate golden golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke dist-ha-smoke consensus-race gateway-smoke ci
+.PHONY: all build test race vet bench bench-gate golden golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke dist-ha-smoke consensus-race gateway-smoke control-smoke ci
 
 all: build
 
@@ -36,7 +36,7 @@ race:
 # BENCH_baseline.json for cross-run comparison (benchstat-compatible via
 # `go tool test2json` consumers).
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkSimWorkers|BenchmarkSketchIngest|BenchmarkFabricDispatch' -benchmem -json . | tee BENCH_baseline.json
+	$(GO) test -run xxx -bench 'BenchmarkSimWorkers|BenchmarkSketchIngest|BenchmarkFabricDispatch|BenchmarkControlOverhead' -benchmem -json . | tee BENCH_baseline.json
 
 # Performance regression gate: reruns the gated benchmarks and fails when
 # any loses more than 10% ios-per-sec or grows allocs/op by more than 10%
@@ -44,7 +44,7 @@ bench:
 # promote the fresh numbers with `make bench-gate UPDATE_BASELINE=1` and
 # commit the updated baseline.
 bench-gate:
-	$(GO) test -run xxx -bench 'BenchmarkSimWorkers|BenchmarkSketchIngest|BenchmarkFabricDispatch' -benchmem -json . > BENCH_current.json
+	$(GO) test -run xxx -bench 'BenchmarkSimWorkers|BenchmarkSketchIngest|BenchmarkFabricDispatch|BenchmarkControlOverhead' -benchmem -json . > BENCH_current.json
 	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -current BENCH_current.json $(if $(UPDATE_BASELINE),-update-baseline)
 	@rm -f BENCH_current.json
 
@@ -118,4 +118,13 @@ consensus-race:
 gateway-smoke:
 	$(GO) run ./cmd/ebsgate -selftest -seed 7 -dur 4 -nodes 2 -users 4 -max-vds 12
 
-ci: vet race golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke dist-ha-smoke consensus-race gateway-smoke bench-gate
+# Mitigation control-plane gate: the policy bake-off golden fixture (the
+# predictive policy must beat reactive on imbalance under the pinned chaos
+# plan, and noop must answer byte-identically to the uncontrolled run), the
+# metamorphic worker-count invariance of the decision log, and one seeded
+# predict->act CLI run under chaos with the invariant suite on.
+control-smoke:
+	$(GO) test ./internal/control/... -count=1
+	$(GO) run ./cmd/ebssim -seed 7 -dur 24 -nodes 4 -max-vds 24 -control predictive -chaos -storms 4 -check
+
+ci: vet race golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke dist-ha-smoke consensus-race gateway-smoke control-smoke bench-gate

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"ebslab/internal/cluster"
+	"ebslab/internal/control"
 	"ebslab/internal/core"
 	"ebslab/internal/ebs"
 	"ebslab/internal/fabric"
@@ -591,4 +592,49 @@ func BenchmarkSeriesGeneration(b *testing.B) {
 	}
 	_ = sink
 	b.ReportMetric(stats.Mean([]float64{300}), "seconds-per-series")
+}
+
+// BenchmarkControlOverhead prices the predict->act mitigation loop against
+// the identical study uncontrolled. The "noop" case is the control plane's
+// fixed cost — a full observe pass plus planning over an empty action set —
+// and "reactive" adds real actuation (migration lookups, lending overrides)
+// to the bill. The gate watches ios-per-sec on all three.
+func BenchmarkControlOverhead(b *testing.B) {
+	s := study(b)
+	sim := ebs.New(s.Fleet)
+	opts := ebs.Options{
+		DurationSec: 10, TraceSampleEvery: 1, EventSampleEvery: 16,
+		MaxVDs: 40, Workers: 2,
+	}
+	b.Run("uncontrolled", func(b *testing.B) {
+		b.ReportAllocs()
+		var ios int
+		for i := 0; i < b.N; i++ {
+			ds, err := sim.Run(context.Background(), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ios += len(ds.Trace)
+		}
+		b.ReportMetric(float64(ios)/b.Elapsed().Seconds(), "ios-per-sec")
+	})
+	for _, name := range []string{"noop", "reactive"} {
+		name := name
+		b.Run("policy="+name, func(b *testing.B) {
+			b.ReportAllocs()
+			pol, err := control.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ios int
+			for i := 0; i < b.N; i++ {
+				ds, _, err := sim.RunControlled(context.Background(), opts, pol, control.Config{EpochSec: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ios += len(ds.Trace)
+			}
+			b.ReportMetric(float64(ios)/b.Elapsed().Seconds(), "ios-per-sec")
+		})
+	}
 }

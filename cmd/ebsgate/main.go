@@ -57,6 +57,8 @@ func main() {
 		shards   = flag.Int("shards", 0, "spec: fabric shard count (0 = gateway default)")
 		kills    = flag.Int("leader-kill", 0, "spec: chaos leader kills mid-study (needs a replicated fabric gateway)")
 		check    = flag.Bool("check", false, "spec: run the invariant suite over the study")
+		ctlPol   = flag.String("control", "", "spec: run the study through the mitigation control plane under this policy (noop, reactive, predictive[-holt|-arima|-gbt], oracle)")
+		ctlEpoch = flag.Int("epoch-sec", 0, "spec: control epoch seconds (0 = an eighth of -dur; needs -control)")
 		selftest = flag.Bool("selftest", false, "serve over loopback TCP, run one study end to end, verify the fingerprint against a direct run")
 	)
 	flag.Parse()
@@ -64,6 +66,7 @@ func main() {
 	spec := gateway.StudySpec{
 		Seed: *seed, DurationSec: *dur, Nodes: *nodes, Users: *users,
 		MaxVDs: *maxVDs, Shards: *shards, LeaderKills: *kills, Check: *check,
+		Control: *ctlPol, ControlEpochSec: *ctlEpoch,
 	}
 	cfg := gateway.Config{
 		MaxConcurrent:      *maxConc,
@@ -210,6 +213,9 @@ func printStatus(st gateway.StatusReply) {
 	}
 	if st.DatasetFP != "" {
 		fmt.Printf("\n  dataset  %s\n  sketch   %s", st.DatasetFP, st.SketchFP)
+	}
+	if st.ControlLogFP != "" {
+		fmt.Printf("\n  control  %s (%d decisions)", st.ControlLogFP, st.ControlDecisions)
 	}
 	if st.Error != "" {
 		fmt.Printf(" error=%s", st.Error)

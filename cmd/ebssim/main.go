@@ -17,6 +17,7 @@ import (
 
 	"ebslab/internal/chaos"
 	"ebslab/internal/cluster"
+	"ebslab/internal/control"
 	"ebslab/internal/ebs"
 	"ebslab/internal/fabric"
 	"ebslab/internal/invariant"
@@ -40,6 +41,8 @@ type roleFlags struct {
 	leaderKill  int
 	replicaID   int
 	peers       string
+	control     string
+	epochSec    int
 }
 
 // validateFlags rejects contradictory role selections up front, naming every
@@ -79,6 +82,19 @@ func validateFlags(f roleFlags) error {
 				f.replicas, max, f.leaderKill)
 		}
 	}
+	if f.control != "" {
+		if f.dist > 0 || f.workersAddr != "" || f.replicas > 1 {
+			return fmt.Errorf("-control runs the sequential predict->act loop in-process, which conflicts with the distributed roles -dist, -workers-addr, -replicas")
+		}
+		if _, err := control.ByName(f.control); err != nil {
+			return err
+		}
+	} else if f.epochSec != 0 {
+		return fmt.Errorf("-epoch-sec needs -control")
+	}
+	if f.epochSec < 0 {
+		return fmt.Errorf("-epoch-sec %d: want >= 0 (0 = an eighth of -dur)", f.epochSec)
+	}
 	return nil
 }
 
@@ -102,6 +118,9 @@ func main() {
 		replicaID   = flag.Int("replica-id", 0, "with -workers-addr and -peers: this coordinator's replica ID")
 		peers       = flag.String("peers", "", "with -workers-addr: comma-separated control-plane addresses of every replica, indexed by replica ID (replicates the coordinator over TCP)")
 
+		controlPol = flag.String("control", "", "run the study through the mitigation control plane under this policy (noop, reactive, predictive[-holt|-arima|-gbt], oracle) and report imbalance before/after actuation")
+		epochSec   = flag.Int("epoch-sec", 0, "with -control: control epoch length in seconds (0 = an eighth of -dur, at least 1)")
+
 		chaosOn     = flag.Bool("chaos", false, "inject a deterministic fault schedule (see -crashes, -storms, ...)")
 		chaosSeed   = flag.Int64("chaos-seed", 0, "fault schedule seed (0 = follow -seed)")
 		crashes     = flag.Int("crashes", 2, "BlockServer crash-and-recover windows to schedule")
@@ -120,6 +139,8 @@ func main() {
 		leaderKill:  *leaderKill,
 		replicaID:   *replicaID,
 		peers:       *peers,
+		control:     *controlPol,
+		epochSec:    *epochSec,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ebssim:", err)
 		os.Exit(2)
@@ -180,6 +201,8 @@ func main() {
 	}
 	var ds *trace.Dataset
 	switch {
+	case *controlPol != "":
+		ds, err = runControlled(ctx, fleet, opts, *controlPol, *epochSec)
 	case *dist > 0:
 		ds, err = runDistVerified(ctx, cfg, opts, *dist, *shards, *replicas, *leaderKill)
 	case *workersAddr != "":
@@ -322,6 +345,48 @@ func printStream(set *sketch.Set, ds *trace.Dataset) {
 	fmt.Printf("  hot-VD overlap %.2f, hot-segment overlap %.2f\n\n",
 		sketch.Overlap(exact.HotVDs, sk.HotVDs),
 		sketch.Overlap(exact.HotSegments, sk.HotSegments))
+}
+
+// runControlled executes the predict->act loop end to end — an observe pass,
+// one plan, an actuated pass — and prints the mitigation summary ahead of the
+// regular stack report. The dataset the report sections consume is the
+// actuated run's, so every downstream number reflects life under mitigation.
+func runControlled(ctx context.Context, fleet *workload.Fleet, opts ebs.Options, policy string, epochSec int) (*trace.Dataset, error) {
+	pol, err := control.ByName(policy)
+	if err != nil {
+		return nil, err
+	}
+	if epochSec == 0 {
+		epochSec = opts.DurationSec / 8
+		if epochSec < 1 {
+			epochSec = 1
+		}
+	}
+	ds, plan, err := ebs.New(fleet).RunControlled(ctx, opts, pol, control.Config{EpochSec: epochSec})
+	if err != nil {
+		return nil, err
+	}
+	var migrates, evacs, lends, rebinds int
+	for _, d := range plan.Decisions {
+		switch d.Kind {
+		case control.DecMigrate:
+			migrates++
+		case control.DecEvacuate:
+			evacs++
+		case control.DecLend:
+			lends++
+		case control.DecRebind:
+			rebinds++
+		}
+	}
+	imb := control.Imbalance(plan.BSLoad)
+	fmt.Printf("control plane: policy %s, epoch %ds (%d epochs)\n", plan.Policy, epochSec, len(plan.BSLoad))
+	fmt.Printf("  decisions: %d (%d migrate, %d evacuate, %d lend, %d rebind)\n",
+		len(plan.Decisions), migrates, evacs, lends, rebinds)
+	fmt.Printf("  decision log %s\n", plan.LogFingerprint())
+	fmt.Printf("  inter-BS imbalance: mean CoV %.4f, max CoV %.4f, peak share %.3f\n",
+		imb.MeanCoV, imb.MaxCoV, imb.PeakShare)
+	return ds, nil
 }
 
 // runWorkerRole turns this process into a fabric worker: every simulation

@@ -47,6 +47,11 @@ type Config struct {
 	// pass of WriteThenRead; otherwise the write-pass policy is reused
 	// (fed with read history).
 	ReadPolicy ImporterPolicy
+	// PeriodSec is the simulated length of one balancing period in seconds,
+	// used only to stamp Migration.AtSec so the migration log can be joined
+	// against time-stamped logs (the control plane's decision log). Zero or
+	// negative means 1: AtSec equals the period index.
+	PeriodSec int
 }
 
 // Mode selects the migration algorithm of Figure 5(c).
@@ -77,9 +82,13 @@ func DefaultConfig() Config {
 // Migration records one segment move.
 type Migration struct {
 	Period int
-	Seg    cluster.SegmentID
-	From   cluster.StorageNodeID
-	To     cluster.StorageNodeID
+	// AtSec is the simulated second the move takes effect: the period (or
+	// control epoch) boundary, Period x Config.PeriodSec. Logs produced by
+	// different subsystems join on this timestamp.
+	AtSec int
+	Seg   cluster.SegmentID
+	From  cluster.StorageNodeID
+	To    cluster.StorageNodeID
 	// Read reports whether the move came from the read-balancing pass.
 	Read bool
 	// Failover reports whether the move evacuated a crashed BlockServer
@@ -228,7 +237,7 @@ func RunWithFailures(seg2bs *cluster.SegmentMap, segTraffic [][]RW, policy Impor
 					continue // no healthy survivor could take it
 				}
 				res.Migrations = append(res.Migrations, Migration{
-					Period: p, Seg: seg, From: failed, To: to, Failover: true,
+					Period: p, AtSec: p * periodSec(cfg), Seg: seg, From: failed, To: to, Failover: true,
 				})
 			}
 		}
@@ -257,6 +266,14 @@ func RunWithFailures(seg2bs *cluster.SegmentMap, segTraffic [][]RW, policy Impor
 		copy(wasDown, isDown)
 	}
 	return res
+}
+
+// periodSec returns the configured period length for AtSec stamping.
+func periodSec(cfg Config) int {
+	if cfg.PeriodSec > 0 {
+		return cfg.PeriodSec
+	}
+	return 1
 }
 
 // balancePass runs one Algorithm 1 sweep over the metric in bsLoad (write
@@ -367,7 +384,7 @@ func balancePass(placement *cluster.SegmentMap, segTraffic [][]RW, period int,
 		for _, seg := range moving {
 			placement.Move(seg, importer)
 			out = append(out, Migration{
-				Period: period, Seg: seg,
+				Period: period, AtSec: period * periodSec(cfg), Seg: seg,
 				From: cluster.StorageNodeID(b), To: importer, Read: readPass,
 			})
 		}

@@ -1,0 +1,50 @@
+package control
+
+import (
+	"ebslab/internal/stats"
+)
+
+// ImbalanceReport scores a per-epoch per-BS load series. MeanCoV is the
+// headline imbalance metric the evaluation harness compares policies on:
+// the mean over epochs of the normalized coefficient of variation of per-BS
+// load — 0 for a perfectly balanced cluster, 1 for all load on one BS.
+type ImbalanceReport struct {
+	// PerEpoch[ep] is the normalized CoV of per-BS load in epoch ep.
+	PerEpoch []float64
+	// MeanCoV and MaxCoV aggregate PerEpoch.
+	MeanCoV, MaxCoV float64
+	// PeakShare is the largest single-BS share of any epoch's total load —
+	// the hot-spot severity measure.
+	PeakShare float64
+}
+
+// Imbalance scores bsLoad[ep][bs] (as produced in Plan.BSLoad). Epochs with
+// zero total load contribute CoV 0.
+func Imbalance(bsLoad [][]float64) ImbalanceReport {
+	rep := ImbalanceReport{PerEpoch: make([]float64, len(bsLoad))}
+	for ep, loads := range bsLoad {
+		cov := stats.NormCoV(loads)
+		if cov != cov { // NaN: degenerate epoch
+			cov = 0
+		}
+		rep.PerEpoch[ep] = cov
+		rep.MeanCoV += cov
+		if cov > rep.MaxCoV {
+			rep.MaxCoV = cov
+		}
+		total, max := 0.0, 0.0
+		for _, v := range loads {
+			total += v
+			if v > max {
+				max = v
+			}
+		}
+		if total > 0 && max/total > rep.PeakShare {
+			rep.PeakShare = max / total
+		}
+	}
+	if len(bsLoad) > 0 {
+		rep.MeanCoV /= float64(len(bsLoad))
+	}
+	return rep
+}

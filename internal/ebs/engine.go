@@ -8,6 +8,7 @@ import (
 
 	"ebslab/internal/chaos"
 	"ebslab/internal/cluster"
+	"ebslab/internal/control"
 	"ebslab/internal/diting"
 	"ebslab/internal/invariant"
 	"ebslab/internal/latency"
@@ -54,6 +55,12 @@ type shard struct {
 	group  [1][]throttle.Demand
 	th     throttle.Scratch
 
+	// obs is this shard's slice of the run's control-plane observation
+	// (present only when Options.Observe is set); per-shard instances are
+	// merged after the pool drains, commutatively, so the merged counters
+	// are worker-count invariant.
+	obs *control.Observation
+
 	audit []string
 	chaos chaos.Stats
 }
@@ -71,6 +78,9 @@ func (sh *shard) flush() {
 	}
 	if sh.snap != nil {
 		sh.snap.ObserveBatch(sh.batch)
+	}
+	if sh.obs != nil {
+		sh.obs.ObserveBatch(sh.batch)
 	}
 	sh.batch.Reset()
 }
@@ -90,6 +100,9 @@ func (s *Sim) newShards(workers int, opts *Options, streamCfg sketch.Config) []*
 		if opts.Snapshots != nil {
 			sh.sink = opts.Snapshots
 			sh.snapCfg = streamCfg
+		}
+		if opts.Observe != nil {
+			sh.obs = control.NewObservation(opts.Observe.Shape)
 		}
 		shards[i] = sh
 	}
@@ -126,6 +139,9 @@ func (s *Sim) Run(ctx context.Context, opts Options) (*trace.Dataset, error) {
 		return nil, err
 	}
 	top := s.fleet.Topology
+	if err := s.checkControlOptions(&opts); err != nil {
+		return nil, err
+	}
 	table := s.tableFor(opts)
 	nVDs := s.runVDs(opts)
 
@@ -169,6 +185,14 @@ func (s *Sim) Run(ctx context.Context, opts Options) (*trace.Dataset, error) {
 		return nil, err
 	}
 
+	if opts.Observe != nil {
+		for _, sh := range shards {
+			if err := opts.Observe.Merge(sh.obs); err != nil {
+				releaseShards(shards)
+				return nil, err
+			}
+		}
+	}
 	merged := diting.Merge(opts.TraceSampleEvery, tracersOf(shards)...)
 	ds := s.assembleDataset(opts, merged)
 	var sets []*sketch.Set
@@ -219,6 +243,7 @@ func (s *Sim) runTail(opts Options, ds *trace.Dataset, sched *chaos.Schedule, st
 			Emission:         emission,
 			EventSampleEvery: opts.EventSampleEvery,
 			TraceSampleEvery: opts.TraceSampleEvery,
+			Control:          opts.Control,
 		})
 		rep.AddAll("throttle/grants", audits)
 		if sched != nil {
@@ -261,6 +286,7 @@ type vdEmitter struct {
 	sched      *chaos.Schedule
 	boost      func(sec int) float64
 	queueDelay []float64
+	ctl        *control.Timeline // nil unless the run applies a control timeline
 
 	vdID cluster.VDID
 	dc   cluster.DCID
@@ -287,6 +313,22 @@ func (e *vdEmitter) emit(ev workload.Event) {
 		e.genErr = fmt.Errorf("ebs: segment %d unplaced", seg)
 		return
 	}
+	sec := int(ev.TimeUS / 1_000_000)
+	wt := e.wtOf[ev.QP]
+	// Control-plane actuation: the timeline's epoch rows override the
+	// segment's BS (migrations already landed) and the QP's worker thread
+	// (rebinds), via pure lookups — no RNG draw, so the generated stream is
+	// identical to an uncontrolled run's.
+	var ctlEpoch int
+	if e.ctl != nil {
+		ctlEpoch = e.ctl.EpochOf(sec)
+		if row := e.ctl.BSRow(ctlEpoch); row != nil {
+			sn = row[seg]
+		}
+		if row := e.ctl.WTRow(ctlEpoch); row != nil {
+			wt = row[ev.QP]
+		}
+	}
 	sh := e.sh
 	b := sh.batch
 	if b.Full() {
@@ -304,11 +346,15 @@ func (e *vdEmitter) emit(ev workload.Event) {
 	b.VM[i] = e.vm
 	b.VD[i] = e.vdID
 	b.QP[i] = ev.QP
-	b.WT[i] = e.wtOf[ev.QP]
+	b.WT[i] = wt
 	b.Storage[i] = sn
 	b.Segment[i] = seg
 	e.table.SampleInto(e.rng.Rand, ev.Op, ev.Size, &b.Lat[i])
-	sec := int(ev.TimeUS / 1_000_000)
+	if e.ctl != nil && e.ctl.MovedAt(ctlEpoch, int(seg)) {
+		// The segment is landing on its new BS this epoch: data movement
+		// competes with foreground traffic on the backend network.
+		b.Lat[i][trace.StageBackendNet] += float32(e.ctl.PenaltyUS)
+	}
 	if e.sched != nil {
 		if e.sched.BSDownAt(int(sn), sec) {
 			sh.chaos.FaultedIOs++
@@ -367,13 +413,30 @@ func (s *Sim) simulateVD(sh *shard, vdIdx int, opts *Options, table *latency.Tab
 		}
 		sh.caps[0] = throttle.Caps{Tput: vd.ThroughputCap, IOPS: vd.IOPSCap}
 		sh.group[0] = sh.demand
-		if opts.Check {
+		// A VD carrying control-plane lending deltas replays against the
+		// scheduled per-epoch caps; every other VD takes the plain path, so
+		// the arithmetic (and the dataset) is untouched for them.
+		var capsAt func(t int, eff []throttle.Caps)
+		if opts.Control != nil && opts.Control.VDLends(vdIdx) {
+			capsAt = lendCapsAt(opts.Control, vdIdx)
+		}
+		switch {
+		case opts.Check && capsAt != nil:
+			res, msgs := throttle.SimulateScheduledAudited(sh.caps[:], sh.group[:], capsAt)
+			for _, m := range msgs {
+				sh.audit = append(sh.audit, fmt.Sprintf("VD %d: %s", vdID, m))
+			}
+			queueDelay = res.QueueDelaySec[0]
+		case opts.Check:
 			res, msgs := throttle.SimulateAudited(sh.caps[:], sh.group[:])
 			for _, m := range msgs {
 				sh.audit = append(sh.audit, fmt.Sprintf("VD %d: %s", vdID, m))
 			}
 			queueDelay = res.QueueDelaySec[0]
-		} else {
+		case capsAt != nil:
+			res := sh.th.SimulateScheduled(sh.caps[:], sh.group[:], capsAt)
+			queueDelay = res.QueueDelaySec[0]
+		default:
 			res := sh.th.Simulate(sh.caps[:], sh.group[:])
 			queueDelay = res.QueueDelaySec[0]
 		}
@@ -397,6 +460,7 @@ func (s *Sim) simulateVD(sh *shard, vdIdx int, opts *Options, table *latency.Tab
 		sched:      sched,
 		boost:      boost,
 		queueDelay: queueDelay,
+		ctl:        opts.Control,
 		vdID:       vdID,
 		dc:         node.DC,
 		node:       node.ID,

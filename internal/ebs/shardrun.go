@@ -105,6 +105,9 @@ func (s *Sim) RunShard(ctx context.Context, opts Options, lo, hi int) (*ShardPar
 	if err != nil {
 		return nil, err
 	}
+	if opts.Control != nil || opts.Observe != nil {
+		return nil, fmt.Errorf("ebs: Control/Observe options are single-process only (the control loop is sequential over epochs); run the controlled study in-process")
+	}
 	nVDs := s.runVDs(opts)
 	if lo < 0 || hi > nVDs || lo >= hi {
 		return nil, fmt.Errorf("ebs: shard [%d,%d) outside run range [0,%d)", lo, hi, nVDs)
@@ -170,6 +173,9 @@ func (s *Sim) MergeShards(opts Options, partials []*ShardPartial) (*trace.Datase
 	opts, err := opts.prepare(s.fleet)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Control != nil || opts.Observe != nil {
+		return nil, fmt.Errorf("ebs: Control/Observe options are single-process only (the control loop is sequential over epochs); run the controlled study in-process")
 	}
 	nVDs := s.runVDs(opts)
 	top := s.fleet.Topology

@@ -20,6 +20,7 @@ import (
 
 	"ebslab/internal/chaos"
 	"ebslab/internal/cluster"
+	"ebslab/internal/control"
 	"ebslab/internal/hypervisor"
 	"ebslab/internal/latency"
 	"ebslab/internal/sketch"
@@ -82,6 +83,23 @@ type Options struct {
 	// executes. Like Progress, the sink never crosses the wire — distributed
 	// runs snapshot from the coordinator's accepted shard partials instead.
 	Snapshots *SnapshotSink
+	// Control, when non-nil, applies a compiled mitigation timeline during
+	// the run: per-epoch placement and QP-binding overrides, migration
+	// landing penalties, and per-epoch throttle cap deltas, all looked up
+	// without consuming any RNG draw — so an empty timeline is byte-identical
+	// to no timeline. Timelines are produced by control.BuildPlan from an
+	// observe pass; RunControlled orchestrates the two passes. Single-process
+	// runs only: RunShard and MergeShards reject it (the control loop is
+	// inherently sequential over epochs). See DESIGN.md, "Mitigation control
+	// plane".
+	Control *control.Timeline
+	// Observe, when non-nil, accumulates per-epoch integer traffic counters
+	// (per segment, VD, QP, and worker thread) into the destination during
+	// the run. Counters are commutative per-shard sums, so the merged
+	// observation is worker-count invariant. Create the destination with
+	// control.NewObservation over a shape matching this fleet and the run's
+	// options. Single-process runs only, like Control.
+	Observe *control.Observation
 	// Latency overrides the latency model (default latency.Default()).
 	Latency *latency.Model
 	// Seed overrides the base seed of the per-VD latency sampling streams

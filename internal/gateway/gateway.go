@@ -10,12 +10,14 @@ import (
 	"time"
 
 	"ebslab/internal/chaos"
+	"ebslab/internal/control"
 	"ebslab/internal/ebs"
 	"ebslab/internal/fabric"
 	"ebslab/internal/invariant"
 	"ebslab/internal/netblock"
 	"ebslab/internal/sketch"
 	"ebslab/internal/throttle"
+	"ebslab/internal/trace"
 	"ebslab/internal/workload"
 )
 
@@ -116,12 +118,14 @@ type job struct {
 	vdsTotal atomic.Int64
 
 	// Final answers, set under Gateway.mu when the study completes.
-	dsFP        string // invariant.Fingerprint of the dataset
-	sketchFP    string // final Options.Stream fingerprint
-	streamFP    string // final snapshot-path fingerprint (== sketchFP)
-	finalSketch []byte
-	finalSeq    uint64
-	kills       int
+	dsFP         string // invariant.Fingerprint of the dataset
+	sketchFP     string // final Options.Stream fingerprint
+	streamFP     string // final snapshot-path fingerprint (== sketchFP)
+	finalSketch  []byte
+	finalSeq     uint64
+	kills        int
+	ctlFP        string // control decision-log fingerprint (controlled studies)
+	ctlDecisions int
 
 	done chan struct{}
 }
@@ -439,9 +443,32 @@ func (gw *Gateway) runLocal(j *job) error {
 			gw.cfg.OnProgress(j.id, done, total)
 		}
 	}
-	ds, err := ebs.New(fleet).Run(j.ctx, opts)
-	if err != nil {
-		return err
+	sim := ebs.New(fleet)
+	var ds *trace.Dataset
+	if j.spec.Control != "" {
+		// Controlled study: the full predict→act loop. The observe pass
+		// runs bare (RunControlled strips stream/snapshot/progress from
+		// it), so the sink and the progress counters see only the
+		// actuated pass the tenant's answer comes from.
+		pol, err := control.ByName(j.spec.Control)
+		if err != nil {
+			return err
+		}
+		var plan *control.Plan
+		ds, plan, err = sim.RunControlled(j.ctx, opts, pol, control.Config{EpochSec: j.spec.ControlEpochSec})
+		if err != nil {
+			return err
+		}
+		gw.mu.Lock()
+		j.ctlFP = plan.LogFingerprint()
+		j.ctlDecisions = len(plan.Decisions)
+		gw.mu.Unlock()
+	} else {
+		var err error
+		ds, err = sim.Run(j.ctx, opts)
+		if err != nil {
+			return err
+		}
 	}
 	enc, _, seq := sink.Snapshot()
 	gw.mu.Lock()
@@ -459,6 +486,12 @@ func (gw *Gateway) runLocal(j *job) error {
 // over loopback transports. Mid-run snapshots merge the accepted shard
 // partials; the final answer must match what ebs.Run would have produced.
 func (gw *Gateway) runFabric(j *job) error {
+	// The control loop is sequential over epochs, so controlled studies run
+	// in-process even on a fabric-backed gateway (admission already pinned
+	// Shards and LeaderKills to zero for them).
+	if j.spec.Control != "" {
+		return gw.runLocal(j)
+	}
 	fc := *gw.cfg.Fabric
 	if fc.Replicas < 1 {
 		fc.Replicas = 1
@@ -592,6 +625,9 @@ func (gw *Gateway) Status(id uint64) (StatusReply, error) {
 		SketchFP:  j.sketchFP,
 		Kills:     j.kills,
 		Error:     j.errMsg,
+
+		ControlLogFP:     j.ctlFP,
+		ControlDecisions: j.ctlDecisions,
 	}
 	if j.state == StateQueued {
 		for i, q := range gw.tenants[j.tenant].queue {

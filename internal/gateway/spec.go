@@ -16,6 +16,7 @@ import (
 	"encoding/hex"
 	"fmt"
 
+	"ebslab/internal/control"
 	"ebslab/internal/ebs"
 	"ebslab/internal/workload"
 )
@@ -49,6 +50,17 @@ type StudySpec struct {
 	LeaderKills int
 	// Check runs the invariant suite over the study.
 	Check bool
+	// Control, when non-empty, runs the study through the mitigation
+	// control plane (ebs.RunControlled) under the named policy — one of
+	// control.ByName's: noop, reactive, predictive[-holt|-arima|-gbt],
+	// oracle. The control loop is sequential over epochs, so controlled
+	// studies always execute in-process: Shards and LeaderKills must be
+	// zero.
+	Control string
+	// ControlEpochSec is the control epoch length (default: an eighth of
+	// the study window, at least 1s — eight control decisions per study).
+	// Must be zero when Control is empty.
+	ControlEpochSec int
 }
 
 // Spec bounds: the gateway decodes specs from untrusted connections, so every
@@ -62,6 +74,7 @@ const (
 	maxSampling   = 1 << 20
 	maxSpecShards = 256
 	maxKills      = 8
+	maxControlLen = 32
 )
 
 // withDefaults fills zero-valued dimensions with the gateway's laptop-scale
@@ -82,6 +95,12 @@ func (s StudySpec) withDefaults() StudySpec {
 	}
 	if s.TraceSampleEvery == 0 {
 		s.TraceSampleEvery = 1
+	}
+	if s.Control != "" && s.ControlEpochSec == 0 {
+		s.ControlEpochSec = s.DurationSec / 8
+		if s.ControlEpochSec < 1 {
+			s.ControlEpochSec = 1
+		}
 	}
 	return s
 }
@@ -105,6 +124,24 @@ func (s StudySpec) Validate() error {
 		if c.v < c.min || c.v > c.mx {
 			return fmt.Errorf("gateway: spec %s is %d, want [%d, %d]", c.name, c.v, c.min, c.mx)
 		}
+	}
+	if s.Control == "" {
+		if s.ControlEpochSec != 0 {
+			return fmt.Errorf("gateway: spec ControlEpochSec %d without a Control policy", s.ControlEpochSec)
+		}
+		return nil
+	}
+	if len(s.Control) > maxControlLen {
+		return fmt.Errorf("gateway: spec Control name is %d bytes, want <= %d", len(s.Control), maxControlLen)
+	}
+	if _, err := control.ByName(s.Control); err != nil {
+		return err
+	}
+	if s.ControlEpochSec < 1 || s.ControlEpochSec > s.DurationSec {
+		return fmt.Errorf("gateway: spec ControlEpochSec %d, want [1, %d]", s.ControlEpochSec, s.DurationSec)
+	}
+	if s.Shards != 0 || s.LeaderKills != 0 {
+		return fmt.Errorf("gateway: controlled studies run in-process (the control loop is sequential over epochs); Shards and LeaderKills must be 0")
 	}
 	return nil
 }
@@ -145,7 +182,7 @@ func (s StudySpec) RunOptions() ebs.Options {
 // finished result instead of re-running the study.
 func (s StudySpec) key() string {
 	s = s.withDefaults()
-	var b [41]byte
+	b := make([]byte, 41, 41+1+len(s.Control)+4)
 	binary.LittleEndian.PutUint64(b[0:], uint64(s.Seed))
 	binary.LittleEndian.PutUint32(b[8:], uint32(s.DurationSec))
 	binary.LittleEndian.PutUint32(b[12:], uint32(s.Nodes))
@@ -158,6 +195,13 @@ func (s StudySpec) key() string {
 	if s.Check {
 		b[40] = 1
 	}
-	sum := sha256.Sum256(b[:])
+	// The control section is appended only for controlled studies, so every
+	// pre-existing (uncontrolled) spec keeps its content address.
+	if s.Control != "" {
+		b = append(b, uint8(len(s.Control)))
+		b = append(b, s.Control...)
+		b = binary.LittleEndian.AppendUint32(b, uint32(s.ControlEpochSec))
+	}
+	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
 }

@@ -56,12 +56,16 @@ var (
 //	      | i64 seed | u32 dur | u32 nodes | u32 users | u32 maxVDs
 //	      | u32 eventSample | u32 traceSample | u32 shards | u32 kills
 //	      | u8 check
+//	      [ u8 controlLen | control | u32 controlEpochSec ]
 //
 // Integers are little-endian, matching the netblock frame the payload rides
 // in. The binary layout (rather than JSON) is what makes the decoder an
-// honest fuzz target: every byte means something.
+// honest fuzz target: every byte means something. The control section is
+// appended only when the spec names a mitigation policy, so uncontrolled
+// submissions frame byte-identically to every gateway that predates the
+// control plane.
 func EncodeSubmit(r SubmitRequest) []byte {
-	b := make([]byte, 0, 5+len(r.Tenant)+41)
+	b := make([]byte, 0, 5+len(r.Tenant)+41+1+len(r.Spec.Control)+4)
 	b = append(b, submitMagic...)
 	b = append(b, uint8(len(r.Tenant)))
 	b = append(b, r.Tenant...)
@@ -77,6 +81,11 @@ func EncodeSubmit(r SubmitRequest) []byte {
 		b = append(b, 1)
 	} else {
 		b = append(b, 0)
+	}
+	if r.Spec.Control != "" {
+		b = append(b, uint8(len(r.Spec.Control)))
+		b = append(b, r.Spec.Control...)
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.Spec.ControlEpochSec))
 	}
 	return b
 }
@@ -103,8 +112,8 @@ func DecodeSubmit(b []byte) (SubmitRequest, error) {
 		}
 	}
 	b = b[tl:]
-	if len(b) != 8+8*4+1 {
-		return r, fmt.Errorf("%w: submit spec is %d bytes, want %d", ErrWire, len(b), 8+8*4+1)
+	if len(b) < 8+8*4+1 {
+		return r, fmt.Errorf("%w: submit spec is %d bytes, want >= %d", ErrWire, len(b), 8+8*4+1)
 	}
 	r.Spec.Seed = int64(binary.LittleEndian.Uint64(b))
 	b = b[8:]
@@ -124,6 +133,22 @@ func DecodeSubmit(b []byte) (SubmitRequest, error) {
 	default:
 		return r, fmt.Errorf("%w: check flag %d", ErrWire, b[0])
 	}
+	b = b[1:]
+	if len(b) == 0 {
+		return r, nil // pre-control-plane frame: no control section
+	}
+	cl := int(b[0])
+	b = b[1:]
+	if cl == 0 || cl > maxControlLen || len(b) != cl+4 {
+		return r, fmt.Errorf("%w: control section length %d with %d bytes left", ErrWire, cl, len(b))
+	}
+	r.Spec.Control = string(b[:cl])
+	for _, c := range r.Spec.Control {
+		if c < 0x21 || c > 0x7e {
+			return r, fmt.Errorf("%w: control policy name contains %q", ErrWire, c)
+		}
+	}
+	r.Spec.ControlEpochSec = int(int32(binary.LittleEndian.Uint32(b[cl:])))
 	return r, nil
 }
 
@@ -248,6 +273,11 @@ type StatusReply struct {
 	// fabric execution of the study.
 	Kills int    `json:",omitempty"`
 	Error string `json:",omitempty"`
+	// ControlLogFP fingerprints the mitigation decision log and
+	// ControlDecisions counts its entries; both are set only for completed
+	// controlled studies (StudySpec.Control non-empty).
+	ControlLogFP     string `json:",omitempty"`
+	ControlDecisions int    `json:",omitempty"`
 }
 
 // CancelRequest cancels one study.

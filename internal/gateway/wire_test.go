@@ -109,6 +109,7 @@ func TestSnapshotRequestCodec(t *testing.T) {
 // the same value and nothing on the wire is ignored).
 func FuzzGatewayCodec(f *testing.F) {
 	f.Add(EncodeSubmit(SubmitRequest{Tenant: "alice", Spec: StudySpec{Seed: 42, DurationSec: 8, Shards: 5, LeaderKills: 1, Check: true}}))
+	f.Add(EncodeSubmit(SubmitRequest{Tenant: "carol", Spec: StudySpec{Seed: 7, DurationSec: 16, Control: "predictive-holt", ControlEpochSec: 2}}))
 	f.Add(EncodeSnapshotReply(SnapshotReply{StudyID: 3, State: StateRunning, Seq: 2, VDsDone: 4, VDsTotal: 9, SketchFP: "fp", Sketch: []byte{1, 2}}))
 	f.Add(EncodeSnapshotRequest(123456))
 	f.Add([]byte("EBG1"))

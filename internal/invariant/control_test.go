@@ -1,0 +1,165 @@
+package invariant_test
+
+import (
+	"strings"
+	"testing"
+
+	"ebslab/internal/balancer"
+	"ebslab/internal/cluster"
+	"ebslab/internal/control"
+	"ebslab/internal/invariant"
+	"ebslab/internal/throttle"
+	"ebslab/internal/trace"
+)
+
+// controlScenario builds a small world whose reactive plan contains both
+// migrations and lending grants, then returns the plan with the inputs the
+// actuation law replays against.
+func controlScenario(t *testing.T) (*control.Plan, *cluster.SegmentMap, []int8, []throttle.Caps) {
+	t.Helper()
+	sh := control.ObsShape{
+		EpochSec: 10, DurSec: 40,
+		Segments: 4, VDs: 2, QPs: 2, WTs: 2,
+		WTBase: []int{0}, Scale: 1,
+	}
+	obs := control.NewObservation(sh)
+	batch := trace.NewBatch(128)
+	for sec := 0; sec < 40; sec += 2 {
+		for _, seg := range []int{0, 1} {
+			i := batch.Next()
+			batch.TimeUS[i] = int64(sec) * 1_000_000
+			batch.Op[i] = trace.OpWrite
+			batch.Size[i] = 4 << 20
+			batch.VD[i] = 0
+			batch.QP[i] = 0
+			batch.Segment[i] = cluster.SegmentID(seg)
+		}
+		i := batch.Next()
+		batch.TimeUS[i] = int64(sec) * 1_000_000
+		batch.Op[i] = trace.OpRead
+		batch.Size[i] = 4096
+		batch.VD[i] = 1
+		batch.QP[i] = 1
+		batch.WT[i] = 1
+		batch.Segment[i] = 2
+	}
+	obs.ObserveBatch(batch)
+
+	placement := cluster.NewSegmentMap(4, 2)
+	placement.Assign(0, 0)
+	placement.Assign(1, 0)
+	placement.Assign(2, 1)
+	placement.Assign(3, 1)
+	binding := []int8{0, 1}
+	caps := []throttle.Caps{
+		{Tput: 1 << 20, IOPS: 1000},
+		{Tput: 64 << 20, IOPS: 1000},
+	}
+	plan, err := control.BuildPlan(control.Reactive{}, control.Config{EpochSec: 10}, control.Input{
+		Obs: obs, Placement: placement, Binding: binding, Caps: caps,
+		VMOfVD: []int{0, 0}, NodeOfQP: []int{0, 0},
+	})
+	if err != nil {
+		t.Fatalf("BuildPlan: %v", err)
+	}
+	var migrates, lends int
+	for _, d := range plan.Decisions {
+		switch d.Kind {
+		case control.DecMigrate:
+			migrates++
+		case control.DecLend:
+			lends++
+		}
+	}
+	if migrates == 0 || lends == 0 {
+		t.Fatalf("scenario wants both migrations and lends, got %d/%d", migrates, lends)
+	}
+	return plan, placement, binding, caps
+}
+
+func TestControlActuationLawHolds(t *testing.T) {
+	plan, placement, binding, caps := controlScenario(t)
+	rep := &invariant.Report{}
+	invariant.CheckControlActuation(rep, plan, placement, binding, caps)
+	if !rep.OK() {
+		t.Fatalf("clean plan violates the actuation law:\n%s", rep)
+	}
+}
+
+func TestControlActuationLawCatchesTampering(t *testing.T) {
+	t.Run("applied entry without decision", func(t *testing.T) {
+		plan, placement, binding, caps := controlScenario(t)
+		extra := plan.Applied[len(plan.Applied)-1]
+		plan.Applied = append(plan.Applied, extra)
+		rep := &invariant.Report{}
+		invariant.CheckControlActuation(rep, plan, placement, binding, caps)
+		if rep.OK() || !strings.Contains(rep.String(), "no decision") {
+			t.Fatalf("extra applied entry not flagged:\n%s", rep)
+		}
+	})
+	t.Run("decision without applied entry", func(t *testing.T) {
+		plan, placement, binding, caps := controlScenario(t)
+		plan.Applied = plan.Applied[:len(plan.Applied)-1]
+		rep := &invariant.Report{}
+		invariant.CheckControlActuation(rep, plan, placement, binding, caps)
+		if rep.OK() {
+			t.Fatalf("dropped applied entry not flagged")
+		}
+	})
+	t.Run("rerouted migration", func(t *testing.T) {
+		plan, placement, binding, caps := controlScenario(t)
+		for i := range plan.Decisions {
+			if plan.Decisions[i].Kind == control.DecMigrate {
+				plan.Decisions[i].To = plan.Decisions[i].From
+				break
+			}
+		}
+		rep := &invariant.Report{}
+		invariant.CheckControlActuation(rep, plan, placement, binding, caps)
+		if rep.OK() {
+			t.Fatalf("rerouted migration not flagged")
+		}
+	})
+	t.Run("minting lend", func(t *testing.T) {
+		plan, placement, binding, caps := controlScenario(t)
+		for i, d := range plan.Decisions {
+			if d.Kind == control.DecLend && d.TputDelta < 0 {
+				// Flip a debit into a grant: the epoch now mints cap.
+				plan.Decisions[i].TputDelta = -d.TputDelta
+				break
+			}
+		}
+		rep := &invariant.Report{}
+		invariant.CheckControlActuation(rep, plan, placement, binding, caps)
+		if rep.OK() || !strings.Contains(rep.String(), "mints") {
+			t.Fatalf("minting lend not flagged:\n%s", rep)
+		}
+	})
+	t.Run("applied log must join on epoch second", func(t *testing.T) {
+		plan, placement, binding, caps := controlScenario(t)
+		plan.Applied[0].AtSec++
+		rep := &invariant.Report{}
+		invariant.CheckControlActuation(rep, plan, placement, binding, caps)
+		if rep.OK() {
+			t.Fatalf("shifted AtSec not flagged")
+		}
+	})
+	t.Run("nil timeline", func(t *testing.T) {
+		plan, placement, binding, caps := controlScenario(t)
+		plan.Timeline = nil
+		rep := &invariant.Report{}
+		invariant.CheckControlActuation(rep, plan, placement, binding, caps)
+		if rep.OK() {
+			t.Fatalf("nil timeline not flagged")
+		}
+	})
+	t.Run("balancer log entries carry the epoch second", func(t *testing.T) {
+		plan, _, _, _ := controlScenario(t)
+		for _, m := range plan.Applied {
+			if m.AtSec != m.Period*plan.Timeline.EpochSec {
+				t.Fatalf("applied migration %+v: AtSec != Period*EpochSec", m)
+			}
+		}
+		_ = balancer.Migration{} // the join type is the balancer's, by construction
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"ebslab/internal/cluster"
+	"ebslab/internal/control"
 	"ebslab/internal/trace"
 	"ebslab/internal/workload"
 )
@@ -25,6 +26,23 @@ type Artifacts struct {
 	// every IO was traced and the per-IO record counts become a third,
 	// independently countable ledger.
 	TraceSampleEvery int
+	// Control is the mitigation timeline an actuated run applied, nil for
+	// uncontrolled runs. The placement laws consult it: a record emitted in
+	// an epoch whose timeline row moved the segment must carry the
+	// timeline's BS, not the static placement's.
+	Control *control.Timeline
+}
+
+// expectedBS is the storage node the run's placement assigns to seg at sec:
+// the control timeline's epoch row when one is in force, the static segment
+// map otherwise.
+func (a *Artifacts) expectedBS(sec int, seg cluster.SegmentID) cluster.StorageNodeID {
+	if a.Control != nil {
+		if row := a.Control.BSRow(a.Control.EpochOf(sec)); row != nil {
+			return row[seg]
+		}
+	}
+	return a.Dataset.Seg2BS.BSOf(seg)
 }
 
 func (a *Artifacts) factor() float64 {
@@ -72,7 +90,7 @@ func (traceIntegrity) Check(a *Artifacts, rep *Report) {
 		}
 		if int(r.Segment) >= len(top.Segments) || r.Segment < 0 || top.Segments[r.Segment].VD != r.VD {
 			rep.Addf(law, "record %d: segment %d not owned by VD %d", i, r.Segment, r.VD)
-		} else if bs := a.Dataset.Seg2BS.BSOf(r.Segment); bs != r.Storage {
+		} else if bs := a.expectedBS(int(r.TimeUS/1_000_000), r.Segment); bs != r.Storage {
 			rep.Addf(law, "record %d: storage node %d but placement maps segment %d to %d", i, r.Storage, r.Segment, bs)
 		}
 		if vd.VM != r.VM {
@@ -205,7 +223,7 @@ func (rowSanity) Check(a *Artifacts, rep *Report) {
 		checkRates("storage", i, m)
 		if int(m.Segment) >= len(top.Segments) || m.Segment < 0 || top.Segments[m.Segment].VD != m.VD {
 			rep.Addf(law, "storage row %d: segment %d not owned by VD %d", i, m.Segment, m.VD)
-		} else if bs := a.Dataset.Seg2BS.BSOf(m.Segment); bs != m.Storage {
+		} else if bs := a.expectedBS(int(m.Sec), m.Segment); bs != m.Storage {
 			rep.Addf(law, "storage row %d: storage node %d but placement says %d", i, m.Storage, bs)
 		}
 		k := storageKey{m.Sec, m.Segment}

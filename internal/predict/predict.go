@@ -49,11 +49,14 @@ type EvalResult struct {
 // (stale fits emulate the paper's per-epoch retraining) — and asked for a
 // one-step forecast of series[t].
 func Evaluate(p Predictor, series []float64, warmup, refitEvery int) (EvalResult, error) {
-	if warmup < 2 || warmup >= len(series) {
-		return EvalResult{}, fmt.Errorf("predict: warmup %d outside (2, %d)", warmup, len(series))
+	if warmup < 2 {
+		return EvalResult{}, fmt.Errorf("predict: warmup %d, want >= 2 (a forecaster needs at least two points of history)", warmup)
+	}
+	if warmup >= len(series) {
+		return EvalResult{}, fmt.Errorf("predict: warmup %d leaves no steps to evaluate in a %d-point series, want warmup < len(series)", warmup, len(series))
 	}
 	if refitEvery < 1 {
-		refitEvery = 1
+		return EvalResult{}, fmt.Errorf("predict: refitEvery %d, want >= 1 (the fit cadence in steps)", refitEvery)
 	}
 	res := EvalResult{Name: p.Name()}
 	lastFit := -1

@@ -3,6 +3,7 @@ package predict
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -271,22 +272,48 @@ func TestAttentionCorpusCap(t *testing.T) {
 }
 
 func TestEvaluateValidation(t *testing.T) {
-	if _, err := Evaluate(&Naive{}, []float64{1, 2, 3}, 0, 1); err == nil {
-		t.Fatal("warmup 0 accepted")
+	series := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		name       string
+		series     []float64
+		warmup     int
+		refitEvery int
+		wantErr    string // substring of the error, "" = must succeed
+	}{
+		{"warmup zero", series, 0, 1, "warmup 0"},
+		{"warmup one", series, 1, 1, "warmup 1"},
+		{"warmup negative", series, -3, 1, "warmup -3"},
+		{"warmup == len", series, 5, 1, "leaves no steps"},
+		{"warmup past end", series, 9, 1, "leaves no steps"},
+		{"refit zero", series, 2, 0, "refitEvery 0"},
+		{"refit negative", series, 2, -2, "refitEvery -2"},
+		{"valid", series, 2, 1, ""},
+		{"valid stale refits", series, 2, 3, ""},
 	}
-	if _, err := Evaluate(&Naive{}, []float64{1, 2, 3}, 3, 1); err == nil {
-		t.Fatal("warmup == len accepted")
-	}
-	res, err := Evaluate(&Naive{}, []float64{1, 2, 3, 4, 5}, 2, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(res.Preds) != 3 || len(res.Truth) != 3 {
-		t.Fatalf("evaluation lengths: %d/%d", len(res.Preds), len(res.Truth))
-	}
-	// Naive on 1..5: each prediction is previous value, error 1 each.
-	if math.Abs(res.MSE-1) > 1e-12 {
-		t.Fatalf("naive MSE = %v, want 1", res.MSE)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Evaluate(&Naive{}, tc.series, tc.warmup, tc.refitEvery)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("Evaluate(warmup=%d, refitEvery=%d) accepted", tc.warmup, tc.refitEvery)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Preds) != 3 || len(res.Truth) != 3 {
+				t.Fatalf("evaluation lengths: %d/%d", len(res.Preds), len(res.Truth))
+			}
+			// Naive on 1..5 refit each step: each prediction is the
+			// previous value, error 1 each (stale refits drift further).
+			if tc.refitEvery == 1 && math.Abs(res.MSE-1) > 1e-12 {
+				t.Fatalf("naive MSE = %v, want 1", res.MSE)
+			}
+		})
 	}
 }
 

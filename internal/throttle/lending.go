@@ -79,7 +79,7 @@ func SimulateWithLending(caps []Caps, demand [][]Demand, lend Lending) Result {
 	if lend.PeriodSec <= 0 {
 		lend.PeriodSec = 60
 	}
-	return simulate(caps, demand, &lend, nil, nil, nil)
+	return simulate(caps, demand, &lend, nil, nil, nil, nil)
 }
 
 // LendingGain compares throttle durations without and with lending:

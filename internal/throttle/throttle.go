@@ -93,7 +93,7 @@ type Result struct {
 // drains in later seconds, so a burst's throttle outlasts the burst itself
 // (the latency-spike behaviour Calcspar reported on AWS EBS).
 func Simulate(caps []Caps, demand [][]Demand) Result {
-	return simulate(caps, demand, nil, nil, nil, nil)
+	return simulate(caps, demand, nil, nil, nil, nil, nil)
 }
 
 // Scratch holds the working buffers of a throttle replay so repeated
@@ -118,7 +118,27 @@ type Scratch struct {
 // identical Result values, zero steady-state allocation. The Result is
 // valid until the next call on this Scratch.
 func (sc *Scratch) Simulate(caps []Caps, demand [][]Demand) Result {
-	return simulate(caps, demand, nil, nil, nil, sc)
+	return simulate(caps, demand, nil, nil, nil, sc, nil)
+}
+
+// SimulateScheduled is Simulate under an externally planned cap schedule:
+// before each second, the effective caps are reset to nominal and capsAt may
+// adjust them in place (the control plane's per-epoch lending grants arrive
+// this way). The schedule is trusted here — fleet-wide grant conservation is
+// an invariant-package law, since a single scheduled group no longer sees
+// its lenders. A nil capsAt degrades to Simulate.
+func (sc *Scratch) SimulateScheduled(caps []Caps, demand [][]Demand, capsAt func(t int, eff []Caps)) Result {
+	return simulate(caps, demand, nil, nil, nil, sc, capsAt)
+}
+
+// SimulateScheduledAudited is SimulateScheduled with the delivery laws
+// audited. The per-second budget law is checked against the *scheduled* caps
+// (a scheduled group may legitimately exceed its nominal sum while borrowing
+// fleet-wide); scheduled caps must still be non-negative.
+func SimulateScheduledAudited(caps []Caps, demand [][]Demand, capsAt func(t int, eff []Caps)) (Result, []string) {
+	a := &auditLog{}
+	res := simulate(caps, demand, nil, nil, a, nil, capsAt)
+	return res, a.msgs
 }
 
 // intsFor returns a zeroed length-n int slice, reusing buf's capacity.
@@ -165,7 +185,7 @@ func boolFor(buf []bool, n int) []bool {
 // means every law held.
 func SimulateAudited(caps []Caps, demand [][]Demand) (Result, []string) {
 	a := &auditLog{}
-	res := simulate(caps, demand, nil, nil, a, nil)
+	res := simulate(caps, demand, nil, nil, a, nil, nil)
 	return res, a.msgs
 }
 
@@ -181,7 +201,7 @@ func SimulateWithLendingAudited(caps []Caps, demand [][]Demand, lend Lending) (R
 		lend.PeriodSec = 60
 	}
 	a := &auditLog{}
-	res := simulate(caps, demand, &lend, nil, a, nil)
+	res := simulate(caps, demand, &lend, nil, a, nil, nil)
 	return res, a.msgs
 }
 
@@ -201,7 +221,7 @@ func SimulateWithLendingOutages(caps []Caps, demand [][]Demand, lend Lending, do
 		lend.PeriodSec = 60
 	}
 	a := &auditLog{}
-	res := simulate(caps, demand, &lend, down, a, nil)
+	res := simulate(caps, demand, &lend, down, a, nil, nil)
 	return res, a.msgs
 }
 
@@ -271,9 +291,14 @@ func (a *auditLog) checkDelivery(t, vd int, deliveredB, deliveredOps float64, ef
 }
 
 // simulate optionally applies a lending policy, a crash schedule (down
-// state per (second, VD)), an audit, and a scratch buffer set; any of them
-// may be nil. With a scratch, the returned slices alias its buffers.
-func simulate(caps []Caps, demand [][]Demand, lend *Lending, down func(t, vd int) bool, audit *auditLog, sc *Scratch) Result {
+// state per (second, VD)), an audit, a scratch buffer set, and a scheduled
+// cap hook; any of them may be nil. capsAt is mutually exclusive with lend
+// and down (the schedule already encodes any grants). With a scratch, the
+// returned slices alias its buffers.
+func simulate(caps []Caps, demand [][]Demand, lend *Lending, down func(t, vd int) bool, audit *auditLog, sc *Scratch, capsAt func(t int, eff []Caps)) Result {
+	if capsAt != nil && (lend != nil || down != nil) {
+		panic("throttle: scheduled caps cannot combine with lending or outages")
+	}
 	n := len(caps)
 	if len(demand) != n {
 		panic("throttle: demand rows must match caps")
@@ -329,6 +354,10 @@ func simulate(caps []Caps, demand [][]Demand, lend *Lending, down func(t, vd int
 	}
 
 	for t := 0; t < dur; t++ {
+		if capsAt != nil {
+			copy(eff, caps)
+			capsAt(t, eff)
+		}
 		if lend != nil && lend.PeriodSec > 0 && t%lend.PeriodSec == 0 {
 			copy(eff, caps)
 			for i := range lentThisPeriod {
@@ -442,7 +471,14 @@ func simulate(caps []Caps, demand [][]Demand, lend *Lending, down func(t, vd int
 			}
 		}
 		if audit != nil {
-			audit.checkSecond(t, eff, caps)
+			nominal := caps
+			if capsAt != nil {
+				// A scheduled group is one node of a fleet-wide lending plan;
+				// its budget law is conservation against the schedule itself
+				// (the fleet-level law lives in the invariant package).
+				nominal = eff
+			}
+			audit.checkSecond(t, eff, nominal)
 		}
 	}
 	if dur > 0 {
