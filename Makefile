@@ -9,7 +9,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build test race vet bench bench-gate golden golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke dist-ha-smoke consensus-race gateway-smoke control-smoke ci
+.PHONY: all build test race vet bench bench-gate golden golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke dist-ha-smoke consensus-race gateway-smoke control-smoke scenario-smoke ci
 
 all: build
 
@@ -36,7 +36,7 @@ race:
 # BENCH_baseline.json for cross-run comparison (benchstat-compatible via
 # `go tool test2json` consumers).
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkSimWorkers|BenchmarkSketchIngest|BenchmarkFabricDispatch|BenchmarkControlOverhead' -benchmem -json . | tee BENCH_baseline.json
+	$(GO) test -run xxx -bench 'BenchmarkSimWorkers|BenchmarkSketchIngest|BenchmarkReplayIngest|BenchmarkFabricDispatch|BenchmarkControlOverhead' -benchmem -json . | tee BENCH_baseline.json
 
 # Performance regression gate: reruns the gated benchmarks and fails when
 # any loses more than 10% ios-per-sec or grows allocs/op by more than 10%
@@ -44,7 +44,7 @@ bench:
 # promote the fresh numbers with `make bench-gate UPDATE_BASELINE=1` and
 # commit the updated baseline.
 bench-gate:
-	$(GO) test -run xxx -bench 'BenchmarkSimWorkers|BenchmarkSketchIngest|BenchmarkFabricDispatch|BenchmarkControlOverhead' -benchmem -json . > BENCH_current.json
+	$(GO) test -run xxx -bench 'BenchmarkSimWorkers|BenchmarkSketchIngest|BenchmarkReplayIngest|BenchmarkFabricDispatch|BenchmarkControlOverhead' -benchmem -json . > BENCH_current.json
 	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -current BENCH_current.json $(if $(UPDATE_BASELINE),-update-baseline)
 	@rm -f BENCH_current.json
 
@@ -54,9 +54,11 @@ bench-gate:
 # diff alongside the change that caused it.
 golden-diff:
 	$(GO) test ./internal/core -run 'TestGolden' -count=1
+	$(GO) test ./internal/scenario -run 'TestGolden' -count=1
 
 golden:
 	$(GO) test ./internal/core -run 'TestGolden' -count=1 -update
+	$(GO) test ./internal/scenario -run 'TestGolden' -count=1 -update
 
 # Short randomized runs of the committed fuzz targets (seeds under each
 # package's testdata/fuzz). `go test -fuzz` takes one target per
@@ -71,6 +73,7 @@ fuzz-smoke:
 	$(GO) test ./internal/sketch -fuzz FuzzSetCodec -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/consensus -fuzz FuzzMessageCodec -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/gateway -fuzz FuzzGatewayCodec -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/scenario -fuzz FuzzReplayIngest -fuzztime $(FUZZTIME)
 
 # Coverage over the fault-injection surface: the chaos layer itself plus
 # every package it reaches into (RPC substrate, engine, balancer, throttle,
@@ -127,4 +130,18 @@ control-smoke:
 	$(GO) test ./internal/control/... -count=1
 	$(GO) run ./cmd/ebssim -seed 7 -dur 24 -nodes 4 -max-vds 24 -control predictive -chaos -storms 4 -check
 
-ci: vet race golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke dist-ha-smoke consensus-race gateway-smoke control-smoke bench-gate
+# Scenario-library gate: the scenario package suite (golden fixtures,
+# worker-count determinism oracle, native replay round-trip, replay fuzz
+# seeds), then the full scenario matrix end to end through the CLI with the
+# invariant checker on — bufferbloat plain, batchburst under a chaos plan,
+# elastic under the predictive control policy, and both committed foreign
+# traces (MSR and tianchi schemas) through -replay.
+scenario-smoke:
+	$(GO) test ./internal/scenario -count=1
+	$(GO) run ./cmd/ebssim -seed 7 -dur 12 -nodes 4 -max-vds 24 -scenario bufferbloat,period=8,duty=0.5 -check
+	$(GO) run ./cmd/ebssim -seed 7 -dur 12 -nodes 4 -max-vds 24 -scenario batchburst,wave=6,width=2 -chaos -check
+	$(GO) run ./cmd/ebssim -seed 7 -dur 12 -nodes 4 -max-vds 24 -scenario elastic,hi=2,step=3 -control predictive -check
+	$(GO) run ./cmd/ebssim -seed 7 -dur 12 -nodes 4 -max-vds 24 -replay internal/scenario/testdata/msr_sample.csv -check
+	$(GO) run ./cmd/ebssim -seed 7 -dur 12 -nodes 4 -max-vds 24 -replay internal/scenario/testdata/tianchi_sample.csv -check -stream
+
+ci: vet race golden-diff fuzz-smoke cover chaos-smoke sketch-accuracy-smoke dist-smoke dist-ha-smoke consensus-race gateway-smoke control-smoke scenario-smoke bench-gate

@@ -7,6 +7,7 @@
 package ebslab
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sync"
@@ -19,6 +20,7 @@ import (
 	"ebslab/internal/fabric"
 	"ebslab/internal/hypervisor"
 	"ebslab/internal/netblock"
+	"ebslab/internal/scenario"
 	"ebslab/internal/sketch"
 	"ebslab/internal/stats"
 	"ebslab/internal/trace"
@@ -528,6 +530,58 @@ func BenchmarkSketchIngest(b *testing.B) {
 			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "ios-per-sec")
 			if ios != uint64(n) {
 				b.Fatalf("ingested %d records, want %d", ios, n)
+			}
+		})
+	}
+}
+
+// synthReplayCSV renders a deterministic tianchi-schema trace (dev, op,
+// offset, length, timestamp-µs) for the replay ingest benchmark: 64 devices,
+// heavy-tailed sizes, timestamps ticking forward 37µs per row.
+func synthReplayCSV(n int) []byte {
+	var buf bytes.Buffer
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < n; i++ {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		op := "R"
+		if z>>8&3 == 0 {
+			op = "W"
+		}
+		fmt.Fprintf(&buf, "%d,%s,%d,%d,%d\n",
+			z%64, op, (z>>16%4096)*4096, 512*(1+z>>32%64), 1_000_000+uint64(i)*37)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkReplayIngest measures the foreign-trace replay ingester in
+// isolation: decoding a tianchi-schema stream, normalising every record onto
+// the fleet's address space, and bucketing it per VD. The ios-per-sec metric
+// is the headline ingest rate the bench gate watches; B/op must scale with
+// the kept records, never with fleet size.
+func BenchmarkReplayIngest(b *testing.B) {
+	s := study(b)
+	for _, n := range []int{8192, 65536} {
+		n := n
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			input := synthReplayCSV(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var kept int
+			for i := 0; i < b.N; i++ {
+				cfg := scenario.ReplayConfig{Path: "bench.csv", Schema: scenario.SchemaTianchi, SampleEvery: 1, TimeScale: 1}
+				rp, err := cfg.Ingest(bytes.NewReader(input), s.Fleet)
+				if err != nil {
+					b.Fatal(err)
+				}
+				kept = rp.Stats().Kept
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "ios-per-sec")
+			if kept != n {
+				b.Fatalf("kept %d records, want %d", kept, n)
 			}
 		})
 	}

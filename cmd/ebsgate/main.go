@@ -59,6 +59,7 @@ func main() {
 		check    = flag.Bool("check", false, "spec: run the invariant suite over the study")
 		ctlPol   = flag.String("control", "", "spec: run the study through the mitigation control plane under this policy (noop, reactive, predictive[-holt|-arima|-gbt], oracle)")
 		ctlEpoch = flag.Int("epoch-sec", 0, "spec: control epoch seconds (0 = an eighth of -dur; needs -control)")
+		scenSpec = flag.String("scenario", "", "spec: reshape the study's traffic with a scenario-library spec string (e.g. \"bufferbloat\", \"elastic,step=10,hi=2\"; replay is not servable — it reads server-local files)")
 		selftest = flag.Bool("selftest", false, "serve over loopback TCP, run one study end to end, verify the fingerprint against a direct run")
 	)
 	flag.Parse()
@@ -67,6 +68,7 @@ func main() {
 		Seed: *seed, DurationSec: *dur, Nodes: *nodes, Users: *users,
 		MaxVDs: *maxVDs, Shards: *shards, LeaderKills: *kills, Check: *check,
 		Control: *ctlPol, ControlEpochSec: *ctlEpoch,
+		Scenario: *scenSpec,
 	}
 	cfg := gateway.Config{
 		MaxConcurrent:      *maxConc,

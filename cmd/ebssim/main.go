@@ -23,6 +23,7 @@ import (
 	"ebslab/internal/invariant"
 	"ebslab/internal/netblock"
 	"ebslab/internal/report"
+	"ebslab/internal/scenario"
 	"ebslab/internal/sketch"
 	"ebslab/internal/stats"
 	"ebslab/internal/trace"
@@ -43,6 +44,8 @@ type roleFlags struct {
 	peers       string
 	control     string
 	epochSec    int
+	scenario    string
+	replay      string
 }
 
 // validateFlags rejects contradictory role selections up front, naming every
@@ -95,6 +98,24 @@ func validateFlags(f roleFlags) error {
 	if f.epochSec < 0 {
 		return fmt.Errorf("-epoch-sec %d: want >= 0 (0 = an eighth of -dur)", f.epochSec)
 	}
+	if f.scenario != "" && f.replay != "" {
+		return fmt.Errorf("-replay is shorthand for -scenario replay,path=...: pass exactly one of -scenario, -replay")
+	}
+	spec := f.scenario
+	if f.replay != "" {
+		spec = "replay,path=" + f.replay
+	}
+	if spec != "" {
+		// Build validates the spec statically; replay trace files are only
+		// opened later, at bind time.
+		built, err := scenario.Build(spec)
+		if err != nil {
+			return err
+		}
+		if built.Name() == "replay" && (f.dist > 0 || f.workersAddr != "") {
+			return fmt.Errorf("-replay (and -scenario replay,...) reads a local trace file, which the distributed roles -dist and -workers-addr cannot ship to workers: replay runs are single-process")
+		}
+	}
 	return nil
 }
 
@@ -121,6 +142,9 @@ func main() {
 		controlPol = flag.String("control", "", "run the study through the mitigation control plane under this policy (noop, reactive, predictive[-holt|-arima|-gbt], oracle) and report imbalance before/after actuation")
 		epochSec   = flag.Int("epoch-sec", 0, "with -control: control epoch length in seconds (0 = an eighth of -dur, at least 1)")
 
+		scenarioSpec = flag.String("scenario", "", "reshape the fleet's traffic with a scenario-library spec string (one of: "+strings.Join(scenario.Names(), ", ")+"; e.g. \"bufferbloat\", \"elastic,step=10,hi=2\"); composes with -chaos, -control, -stream, -check, and (except replay) -dist")
+		replayPath   = flag.String("replay", "", "replay a trace file through the full stack; shorthand for -scenario replay,path=PATH (native trace.jsonl/trace.csv, MSR, and tianchi schemas are auto-detected)")
+
 		chaosOn     = flag.Bool("chaos", false, "inject a deterministic fault schedule (see -crashes, -storms, ...)")
 		chaosSeed   = flag.Int64("chaos-seed", 0, "fault schedule seed (0 = follow -seed)")
 		crashes     = flag.Int("crashes", 2, "BlockServer crash-and-recover windows to schedule")
@@ -141,6 +165,8 @@ func main() {
 		peers:       *peers,
 		control:     *controlPol,
 		epochSec:    *epochSec,
+		scenario:    *scenarioSpec,
+		replay:      *replayPath,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ebssim:", err)
 		os.Exit(2)
@@ -199,14 +225,38 @@ func main() {
 			}
 		}
 	}
+	specStr := *scenarioSpec
+	if *replayPath != "" {
+		specStr = "replay,path=" + *replayPath
+	}
+	var scWL scenario.Workload
+	if specStr != "" && *dist == 0 && *workersAddr == "" {
+		// Local execution binds the scenario here; the distributed roles ship
+		// the spec string instead and every worker binds it to its own
+		// regenerated fleet.
+		built, berr := scenario.Build(specStr)
+		if berr == nil {
+			scWL, berr = built.Bind(fleet)
+		}
+		if berr != nil {
+			fmt.Fprintln(os.Stderr, "ebssim:", berr)
+			os.Exit(1)
+		}
+		opts.Scenario = scWL
+		if es, ok := scWL.(interface{ EventSampleEvery() int }); ok {
+			// Replay ingest already thinned the stream: tell the engine the
+			// rate so metric rows re-inflate to full-trace estimates.
+			opts.EventSampleEvery = es.EventSampleEvery()
+		}
+	}
 	var ds *trace.Dataset
 	switch {
 	case *controlPol != "":
 		ds, err = runControlled(ctx, fleet, opts, *controlPol, *epochSec)
 	case *dist > 0:
-		ds, err = runDistVerified(ctx, cfg, opts, *dist, *shards, *replicas, *leaderKill)
+		ds, err = runDistVerified(ctx, cfg, opts, specStr, *dist, *shards, *replicas, *leaderKill)
 	case *workersAddr != "":
-		ds, err = runCoordinator(ctx, cfg, opts, *workersAddr, *shards, *replicaID, *peers)
+		ds, err = runCoordinator(ctx, cfg, opts, specStr, *workersAddr, *shards, *replicaID, *peers)
 	default:
 		ds, err = ebs.New(fleet).Run(ctx, opts)
 	}
@@ -215,6 +265,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("simulated %d IOs over %ds (%d VDs)\n", len(ds.Trace), *dur, *maxVDs)
+	if scWL != nil {
+		fmt.Printf("scenario: %s\n", scWL.Spec())
+		if rp, ok := scWL.(*scenario.Replay); ok {
+			st := rp.Stats()
+			fmt.Printf("  replay: schema %s, %d records parsed, %d kept (1/%d), %d reordered, %d clamped\n",
+				st.Schema, st.Records, st.Kept, rp.EventSampleEvery(), st.Reordered, st.Clamped)
+		}
+	} else if specStr != "" {
+		fmt.Printf("scenario: %s (bound per fabric worker)\n", specStr)
+	}
 	if *check {
 		fmt.Println("invariant suite: all conservation laws hold")
 	}
@@ -436,8 +496,8 @@ func serveFabric(ctx context.Context, co *fabric.Coordinator, l net.Listener) (*
 // consensus-backed control plane: every ledger mutation is committed across
 // the replica set before it takes effect, workers are redirected to the
 // leader, and a surviving replica finishes the run if this one dies.
-func runCoordinator(ctx context.Context, cfg workload.Config, opts ebs.Options, addr string, shards, replicaID int, peers string) (*trace.Dataset, error) {
-	fc := fabric.Config{Fleet: cfg, Opts: opts, Shards: shards}
+func runCoordinator(ctx context.Context, cfg workload.Config, opts ebs.Options, scenarioSpec, addr string, shards, replicaID int, peers string) (*trace.Dataset, error) {
+	fc := fabric.Config{Fleet: cfg, Opts: opts, Scenario: scenarioSpec, Shards: shards}
 	if peers != "" {
 		peerList := strings.Split(peers, ",")
 		if len(peerList) < 2 {
@@ -479,7 +539,7 @@ func runCoordinator(ctx context.Context, cfg workload.Config, opts ebs.Options, 
 // leaderKills > 0 additionally schedules chaos kills of the acting leader
 // mid-run — the fingerprint comparison must STILL hold, which is the
 // replicated control plane's whole contract.
-func runDistVerified(ctx context.Context, cfg workload.Config, opts ebs.Options, n, shards, replicas, leaderKills int) (*trace.Dataset, error) {
+func runDistVerified(ctx context.Context, cfg workload.Config, opts ebs.Options, scenarioSpec string, n, shards, replicas, leaderKills int) (*trace.Dataset, error) {
 	distOpts := opts
 	var distStream *sketch.Set
 	if opts.Stream != nil {
@@ -506,9 +566,9 @@ func runDistVerified(ctx context.Context, cfg workload.Config, opts ebs.Options,
 	var ds *trace.Dataset
 	var err error
 	if replicas > 1 {
-		ds, err = runReplicatedDist(ctx, cfg, distOpts, n, shards, replicas)
+		ds, err = runReplicatedDist(ctx, cfg, distOpts, scenarioSpec, n, shards, replicas)
 	} else {
-		ds, err = runLoopbackDist(ctx, cfg, distOpts, n, shards)
+		ds, err = runLoopbackDist(ctx, cfg, distOpts, scenarioSpec, n, shards)
 	}
 	if err != nil {
 		return nil, err
@@ -517,6 +577,21 @@ func runDistVerified(ctx context.Context, cfg workload.Config, opts ebs.Options,
 	fleet, err := workload.Generate(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if scenarioSpec != "" {
+		// The single-process reference must run the same scenario, rebuilt
+		// from the spec string and bound to this regenerated fleet — exactly
+		// what each fabric worker does, which is what makes the fingerprint
+		// comparison meaningful.
+		built, err := scenario.Build(scenarioSpec)
+		if err != nil {
+			return nil, err
+		}
+		wl, err := built.Bind(fleet)
+		if err != nil {
+			return nil, err
+		}
+		opts.Scenario = wl
 	}
 	ref, err := ebs.New(fleet).Run(ctx, opts)
 	if err != nil {
@@ -537,8 +612,8 @@ func runDistVerified(ctx context.Context, cfg workload.Config, opts ebs.Options,
 
 // runLoopbackDist is the unreplicated in-process fabric: one coordinator,
 // n workers, one loopback.
-func runLoopbackDist(ctx context.Context, cfg workload.Config, opts ebs.Options, n, shards int) (*trace.Dataset, error) {
-	co, err := fabric.NewCoordinator(fabric.Config{Fleet: cfg, Opts: opts, Shards: shards})
+func runLoopbackDist(ctx context.Context, cfg workload.Config, opts ebs.Options, scenarioSpec string, n, shards int) (*trace.Dataset, error) {
+	co, err := fabric.NewCoordinator(fabric.Config{Fleet: cfg, Opts: opts, Scenario: scenarioSpec, Shards: shards})
 	if err != nil {
 		return nil, err
 	}
@@ -570,8 +645,8 @@ func runLoopbackDist(ctx context.Context, cfg workload.Config, opts ebs.Options,
 // replica set: workers dial every replica and follow leader redirects, and
 // any leader kills in opts.Chaos fire mid-run. It reports the leadership
 // history so a kill's succession is visible in the smoke output.
-func runReplicatedDist(ctx context.Context, cfg workload.Config, opts ebs.Options, n, shards, replicas int) (*trace.Dataset, error) {
-	rs, err := fabric.NewReplicaSet(fabric.Config{Fleet: cfg, Opts: opts, Shards: shards}, replicas)
+func runReplicatedDist(ctx context.Context, cfg workload.Config, opts ebs.Options, scenarioSpec string, n, shards, replicas int) (*trace.Dataset, error) {
+	rs, err := fabric.NewReplicaSet(fabric.Config{Fleet: cfg, Opts: opts, Scenario: scenarioSpec, Shards: shards}, replicas)
 	if err != nil {
 		return nil, err
 	}

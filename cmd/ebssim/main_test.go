@@ -23,6 +23,11 @@ func TestValidateFlagsMatrix(t *testing.T) {
 		{"tcp coordinator", roleFlags{workersAddr: ":9000", replicas: 1}, nil},
 		{"tcp replicated coordinator", roleFlags{workersAddr: ":9000", replicas: 1, peers: ":9000,:9001,:9002", replicaID: 1}, nil},
 		{"tcp worker", roleFlags{serveAddr: ":9000", replicas: 1}, nil},
+		{"scenario", roleFlags{replicas: 1, scenario: "bufferbloat"}, nil},
+		{"scenario with params", roleFlags{replicas: 1, scenario: "elastic,step=10,hi=2"}, nil},
+		{"scenario with control", roleFlags{replicas: 1, scenario: "batchburst", control: "predictive"}, nil},
+		{"scenario with dist", roleFlags{dist: 2, replicas: 1, scenario: "bufferbloat"}, nil},
+		{"replay", roleFlags{replicas: 1, replay: "testdata/trace.jsonl"}, nil},
 
 		{"dist and workers-addr conflict", roleFlags{dist: 2, workersAddr: ":9000", replicas: 1},
 			[]string{"-dist", "-workers-addr"}},
@@ -44,6 +49,16 @@ func TestValidateFlagsMatrix(t *testing.T) {
 			[]string{"3-replica", "at most 1"}},
 		{"kill beyond quorum headroom five replicas", roleFlags{dist: 2, replicas: 5, leaderKill: 3},
 			[]string{"5-replica", "at most 2"}},
+		{"scenario and replay conflict", roleFlags{replicas: 1, scenario: "bufferbloat", replay: "x"},
+			[]string{"-scenario", "-replay"}},
+		{"replay with dist", roleFlags{dist: 2, replicas: 1, replay: "x"},
+			[]string{"-replay", "-dist"}},
+		{"replay scenario with workers-addr", roleFlags{workersAddr: ":9000", replicas: 1, scenario: "replay,path=x"},
+			[]string{"-workers-addr", "single-process"}},
+		{"unknown scenario", roleFlags{replicas: 1, scenario: "quakestorm"},
+			[]string{"quakestorm"}},
+		{"bad scenario param", roleFlags{replicas: 1, scenario: "elastic,bogus=1"},
+			[]string{"bogus"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -16,6 +16,7 @@ import (
 	"ebslab/internal/control"
 	"ebslab/internal/ebs"
 	"ebslab/internal/invariant"
+	"ebslab/internal/scenario"
 	"ebslab/internal/workload"
 )
 
@@ -29,6 +30,13 @@ type Spec struct {
 	Opts ebs.Options
 	// Control tunes the controller; zero fields take control.Config defaults.
 	Control control.Config
+	// Scenario, when non-empty, reshapes the fleet's traffic with a
+	// scenario-library spec string ("elastic,step=10", ...) before every
+	// policy runs — the bake-off then measures how each policy copes with
+	// that scenario. Record-sourced replays are rejected by the engine
+	// (measured latencies cannot be re-actuated). Opts.Scenario must be
+	// left nil; the harness binds the scenario itself.
+	Scenario string
 	// Policies names the policies to evaluate, in report order (see
 	// control.ByName). Empty means the canonical four-way bake-off:
 	// noop, reactive, predictive-holt, oracle.
@@ -77,6 +85,20 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 	if spec.Opts.Control != nil || spec.Opts.Observe != nil {
 		return nil, fmt.Errorf("ctleval: Spec.Opts.Control/Observe must be nil; the harness owns the control loop")
 	}
+	if spec.Opts.Scenario != nil {
+		return nil, fmt.Errorf("ctleval: Spec.Opts.Scenario must be nil; set Spec.Scenario (the spec string) and the harness binds it")
+	}
+	var wl scenario.Workload
+	if spec.Scenario != "" {
+		built, err := scenario.Build(spec.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("ctleval: %w", err)
+		}
+		wl, err = built.Bind(fleet)
+		if err != nil {
+			return nil, fmt.Errorf("ctleval: %w", err)
+		}
+	}
 	policies := spec.Policies
 	if len(policies) == 0 {
 		policies = DefaultPolicies
@@ -89,6 +111,7 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 			return nil, fmt.Errorf("ctleval: %w", err)
 		}
 		opts := spec.Opts
+		opts.Scenario = wl
 		var cst chaos.Stats
 		if opts.Chaos != nil {
 			opts.ChaosStats = &cst

@@ -175,3 +175,41 @@ func TestControlWorkerInvariance(t *testing.T) {
 		t.Errorf("dataset fingerprint differs across worker counts: %s vs %s", fps[0].DatasetFP, fps[1].DatasetFP)
 	}
 }
+
+// TestScenarioArm runs a compact bake-off over a scenario-reshaped fleet:
+// the harness must bind the spec string itself, the reshaped traffic must
+// actually change the noop dataset, and a malformed spec string must be
+// rejected before any policy runs.
+func TestScenarioArm(t *testing.T) {
+	small := evalSpec()
+	small.Fleet.DurationSec = 24
+	small.Opts.DurationSec = 24
+	small.Opts.Chaos = nil
+	small.Control = control.Config{EpochSec: 3}
+	small.Policies = []string{"noop", "predictive"}
+
+	base, err := ctleval.Run(context.Background(), small)
+	if err != nil {
+		t.Fatalf("Run(no scenario): %v", err)
+	}
+	shaped := small
+	// lo must undercut this small fleet's demand (a fraction of the caps)
+	// for the elastic clip to bite; see the scenario package tests.
+	shaped.Scenario = "elastic,hi=2,lo=0.0001,step=3"
+	rep, err := ctleval.Run(context.Background(), shaped)
+	if err != nil {
+		t.Fatalf("Run(elastic scenario): %v", err)
+	}
+	if len(rep.Outcomes) != 2 {
+		t.Fatalf("got %d outcomes, want 2", len(rep.Outcomes))
+	}
+	if rep.Outcomes[0].DatasetFP == base.Outcomes[0].DatasetFP {
+		t.Error("elastic scenario left the noop dataset unchanged")
+	}
+
+	bad := shaped
+	bad.Scenario = "quakestorm"
+	if _, err := ctleval.Run(context.Background(), bad); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"ebslab/internal/invariant"
 	"ebslab/internal/latency"
 	"ebslab/internal/par"
+	"ebslab/internal/scenario"
 	"ebslab/internal/sketch"
 	"ebslab/internal/throttle"
 	"ebslab/internal/trace"
@@ -50,6 +51,7 @@ type shard struct {
 	emitFn func(workload.Event)
 
 	series []workload.Sample
+	delay  []float64 // scenario DelayModel scratch
 	demand []throttle.Demand
 	caps   [1]throttle.Caps
 	group  [1][]throttle.Demand
@@ -140,6 +142,9 @@ func (s *Sim) Run(ctx context.Context, opts Options) (*trace.Dataset, error) {
 	}
 	top := s.fleet.Topology
 	if err := s.checkControlOptions(&opts); err != nil {
+		return nil, err
+	}
+	if err := s.checkScenarioOptions(&opts); err != nil {
 		return nil, err
 	}
 	table := s.tableFor(opts)
@@ -286,6 +291,10 @@ type vdEmitter struct {
 	sched      *chaos.Schedule
 	boost      func(sec int) float64
 	queueDelay []float64
+	// extraDelay is a scenario DelayModel's per-second latency term in µs,
+	// landing on extraStage (nil when the run's scenario models no delay).
+	extraDelay []float64
+	extraStage trace.Stage
 	ctl        *control.Timeline // nil unless the run applies a control timeline
 
 	vdID cluster.VDID
@@ -371,6 +380,11 @@ func (e *vdEmitter) emit(ev workload.Event) {
 			b.Lat[i][trace.StageComputeNode] += float32(e.queueDelay[sec] * 1e6)
 		}
 	}
+	if e.extraDelay != nil {
+		if sec < len(e.extraDelay) && e.extraDelay[sec] > 0 {
+			b.Lat[i][e.extraStage] += float32(e.extraDelay[sec])
+		}
+	}
 }
 
 // simulateVD replays one virtual disk's window into the shard's batch
@@ -386,6 +400,13 @@ func (s *Sim) simulateVD(sh *shard, vdIdx int, opts *Options, table *latency.Tab
 	vm := &top.VMs[vd.VM]
 	node := &top.Nodes[vm.Node]
 
+	// A record-sourced replay scenario short-circuits the generative path:
+	// the records are the traffic, verbatim.
+	sc := opts.Scenario
+	if rs, ok := sc.(scenario.RecordSource); ok && rs.SourcesRecords() {
+		return s.replayVD(sh, vdID, opts, emission, sched, rs)
+	}
+
 	var boost func(sec int) float64
 	if sched != nil {
 		boost = sched.VDStormFn(vdIdx)
@@ -393,8 +414,12 @@ func (s *Sim) simulateVD(sh *shard, vdIdx int, opts *Options, table *latency.Tab
 
 	// One traffic series feeds both the throttle replay and the event
 	// generator (their RNG streams are independent, so sharing the series
-	// changes no draw).
-	sh.series = s.fleet.VDSeriesInto(sh.series, vdID, opts.DurationSec)
+	// changes no draw). A scenario replaces the fleet's native series.
+	if sc != nil {
+		sh.series = sc.SeriesInto(sh.series, vdID, opts.DurationSec)
+	} else {
+		sh.series = s.fleet.VDSeriesInto(sh.series, vdID, opts.DurationSec)
+	}
 
 	// Per-VD throttle replay over the second-granularity series gives
 	// each second's queue delay.
@@ -415,10 +440,30 @@ func (s *Sim) simulateVD(sh *shard, vdIdx int, opts *Options, table *latency.Tab
 		sh.group[0] = sh.demand
 		// A VD carrying control-plane lending deltas replays against the
 		// scheduled per-epoch caps; every other VD takes the plain path, so
-		// the arithmetic (and the dataset) is untouched for them.
+		// the arithmetic (and the dataset) is untouched for them. Scheduled
+		// caps compose from up to two sources, in order: a scenario
+		// CapScheduler rewrites the second's base caps, then the control
+		// plane's lending deltas apply on top.
 		var capsAt func(t int, eff []throttle.Caps)
+		capSch, _ := sc.(scenario.CapScheduler)
+		var lend func(t int, eff []throttle.Caps)
 		if opts.Control != nil && opts.Control.VDLends(vdIdx) {
-			capsAt = lendCapsAt(opts.Control, vdIdx)
+			lend = lendCapsAt(opts.Control, vdIdx)
+		}
+		switch {
+		case capSch != nil && lend != nil:
+			base := sh.caps[0]
+			capsAt = func(t int, eff []throttle.Caps) {
+				eff[0] = capSch.CapsAt(vdID, base, t)
+				lend(t, eff)
+			}
+		case capSch != nil:
+			base := sh.caps[0]
+			capsAt = func(t int, eff []throttle.Caps) {
+				eff[0] = capSch.CapsAt(vdID, base, t)
+			}
+		case lend != nil:
+			capsAt = lend
 		}
 		switch {
 		case opts.Check && capsAt != nil:
@@ -442,6 +487,15 @@ func (s *Sim) simulateVD(sh *shard, vdIdx int, opts *Options, table *latency.Tab
 		}
 	}
 
+	// A scenario delay model turns the demand series into a per-second
+	// latency term on its chosen stage (e.g. bufferbloat's device queue).
+	var extraDelay []float64
+	var extraStage trace.Stage
+	if dm, ok := sc.(scenario.DelayModel); ok {
+		sh.delay, extraStage = dm.DelaySeries(sh.delay, vdID, sh.series)
+		extraDelay = sh.delay
+	}
+
 	rng := xrand.Get(latencySeed(opts.Seed, vdID))
 	defer rng.Release()
 	sh.tracer.StartStream(vdIDBase(vdID))
@@ -460,6 +514,8 @@ func (s *Sim) simulateVD(sh *shard, vdIdx int, opts *Options, table *latency.Tab
 		sched:      sched,
 		boost:      boost,
 		queueDelay: queueDelay,
+		extraDelay: extraDelay,
+		extraStage: extraStage,
 		ctl:        opts.Control,
 		vdID:       vdID,
 		dc:         node.DC,
@@ -467,7 +523,11 @@ func (s *Sim) simulateVD(sh *shard, vdIdx int, opts *Options, table *latency.Tab
 		user:       vm.User,
 		vm:         vm.ID,
 	}
-	s.fleet.GenEventsBoostedOver(vdID, sh.series, opts.EventSampleEvery, boost, sh.emitFn)
+	if sc != nil {
+		sc.GenEvents(vdID, sh.series, opts.EventSampleEvery, boost, sh.emitFn)
+	} else {
+		s.fleet.GenEventsBoostedOver(vdID, sh.series, opts.EventSampleEvery, boost, sh.emitFn)
+	}
 	sh.flush()
 	if sh.sink != nil {
 		// The disk is complete: hand its delta to the sink (which consumes
@@ -476,6 +536,62 @@ func (s *Sim) simulateVD(sh *shard, vdIdx int, opts *Options, table *latency.Tab
 		sh.snap = nil
 	}
 	return sh.em.genErr
+}
+
+// replayVD streams one virtual disk's verbatim records (a record-sourced
+// replay scenario) through the shard's batch pipeline. Placement, worker
+// thread, and latencies come from the records themselves; the engine only
+// renumbers trace IDs on the disk-derived stream (so sampling stays
+// worker-count invariant), counts emission for check mode, and applies chaos
+// crash penalties — storms cannot boost verbatim history, and the throttle's
+// queue delay is already baked into the measured latencies.
+func (s *Sim) replayVD(sh *shard, vdID cluster.VDID, opts *Options, emission *invariant.Emission, sched *chaos.Schedule, rs scenario.RecordSource) error {
+	sh.tracer.StartStream(vdIDBase(vdID))
+	if sh.sink != nil {
+		sh.snap = sketch.NewSet(sh.snapCfg)
+	}
+	limitUS := int64(opts.DurationSec) * 1_000_000
+	for _, r := range rs.Records(vdID) {
+		if r.TimeUS >= limitUS {
+			continue
+		}
+		if emission != nil {
+			emission.Add(vdID, r.Op, r.Size)
+		}
+		b := sh.batch
+		if b.Full() {
+			sh.flush()
+			b = sh.batch
+		}
+		i := b.Next()
+		b.TraceID[i] = sh.tracer.NextTraceID()
+		b.TimeUS[i] = r.TimeUS
+		b.Op[i] = r.Op
+		b.Size[i] = r.Size
+		b.Offset[i] = r.Offset
+		b.DC[i] = r.DC
+		b.Node[i] = r.Node
+		b.User[i] = r.User
+		b.VM[i] = r.VM
+		b.VD[i] = r.VD
+		b.QP[i] = r.QP
+		b.WT[i] = r.WT
+		b.Storage[i] = r.Storage
+		b.Segment[i] = r.Segment
+		b.Lat[i] = r.Latency
+		if sched != nil && sched.BSDownAt(int(r.Storage), int(r.TimeUS/1_000_000)) {
+			sh.chaos.FaultedIOs++
+			if sched.PenaltyUS > 0 {
+				b.Lat[i][trace.StageFrontendNet] += float32(sched.PenaltyUS)
+			}
+		}
+	}
+	sh.flush()
+	if sh.sink != nil {
+		sh.sink.fold(sh.snap, sh.snapCfg)
+		sh.snap = nil
+	}
+	return nil
 }
 
 // tracersOf projects the shard slice to its tracers in shard order.

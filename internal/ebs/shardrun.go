@@ -108,6 +108,9 @@ func (s *Sim) RunShard(ctx context.Context, opts Options, lo, hi int) (*ShardPar
 	if opts.Control != nil || opts.Observe != nil {
 		return nil, fmt.Errorf("ebs: Control/Observe options are single-process only (the control loop is sequential over epochs); run the controlled study in-process")
 	}
+	if err := s.checkScenarioOptions(&opts); err != nil {
+		return nil, err
+	}
 	nVDs := s.runVDs(opts)
 	if lo < 0 || hi > nVDs || lo >= hi {
 		return nil, fmt.Errorf("ebs: shard [%d,%d) outside run range [0,%d)", lo, hi, nVDs)

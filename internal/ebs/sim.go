@@ -14,7 +14,6 @@
 package ebs
 
 import (
-	"context"
 	"fmt"
 	"sync"
 
@@ -23,6 +22,7 @@ import (
 	"ebslab/internal/control"
 	"ebslab/internal/hypervisor"
 	"ebslab/internal/latency"
+	"ebslab/internal/scenario"
 	"ebslab/internal/sketch"
 	"ebslab/internal/trace"
 	"ebslab/internal/workload"
@@ -100,6 +100,18 @@ type Options struct {
 	// control.NewObservation over a shape matching this fleet and the run's
 	// options. Single-process runs only, like Control.
 	Observe *control.Observation
+	// Scenario, when non-nil, replaces the fleet's native traffic with a
+	// bound scenario from the scenario library: the engine takes the demand
+	// series and event stream (or, for a record-sourced replay, the verbatim
+	// records) from the scenario instead of the fleet's generators, while
+	// placement, worker threads, throttling, and latency stay fleet-derived.
+	// The scenario must be Bound to this simulator's fleet; Run and RunShard
+	// reject a foreign binding. Scenarios keep the engine's determinism
+	// contract — datasets stay byte-identical for every Workers value — and
+	// compose with Chaos, Stream, Check, and (except record-sourced replays,
+	// whose measured latencies cannot be re-derived) Control/Observe. See
+	// DESIGN.md, "Scenario library & trace replay".
+	Scenario scenario.Workload
 	// Latency overrides the latency model (default latency.Default()).
 	Latency *latency.Model
 	// Seed overrides the base seed of the per-VD latency sampling streams
@@ -241,12 +253,28 @@ func (s *Sim) specs() ([]trace.VDSpec, []trace.VMSpec) {
 // Binding returns the QP binding of one compute node (for inspection).
 func (s *Sim) Binding(n cluster.NodeID) *hypervisor.Binding { return s.bindings[n] }
 
-// RunContext is the former name of Run, kept for callers that predate the
-// unified batch-first API.
-//
-// Deprecated: call Run, which now takes the context directly.
-func (s *Sim) RunContext(ctx context.Context, opts Options) (*trace.Dataset, error) {
-	return s.Run(ctx, opts)
+// checkScenarioOptions validates the run's scenario binding: the scenario
+// must be bound to this simulator's fleet (series, events, and records are
+// expressed in that fleet's address space), and a record-sourced replay
+// cannot run under the control plane — its latencies are measured, not
+// modelled, so a timeline's placement overrides and migration penalties
+// would falsify them. MergeShards deliberately skips this check: the
+// coordinator merges partials against its own fleet instance while the
+// scenario was bound worker-side.
+func (s *Sim) checkScenarioOptions(opts *Options) error {
+	sc := opts.Scenario
+	if sc == nil {
+		return nil
+	}
+	if sc.Fleet() != s.fleet {
+		return fmt.Errorf("ebs: Options.Scenario %q is bound to a different fleet; Bind it to this simulator's fleet", sc.Name())
+	}
+	if rs, ok := sc.(scenario.RecordSource); ok && rs.SourcesRecords() {
+		if opts.Control != nil {
+			return fmt.Errorf("ebs: scenario %q replays verbatim records; the control plane cannot actuate over measured latencies (foreign-schema replays can)", sc.Name())
+		}
+	}
+	return nil
 }
 
 // scaleRows compensates metric rows for event thinning so reported rates

@@ -23,6 +23,7 @@ import (
 	"ebslab/internal/ebs"
 	"ebslab/internal/invariant"
 	"ebslab/internal/netblock"
+	"ebslab/internal/scenario"
 	"ebslab/internal/sketch"
 	"ebslab/internal/trace"
 	"ebslab/internal/workload"
@@ -36,6 +37,12 @@ type Config struct {
 	// ChaosStats) are honored: the merged run fills them exactly like
 	// ebs.Sim.Run would. Progress and Latency do not cross the wire.
 	Opts ebs.Options
+	// Scenario optionally names a scenario spec ("bufferbloat,period=16")
+	// every worker binds to its regenerated fleet. The coordinator never
+	// binds it — merging needs only the shard partials — so Opts.Scenario
+	// must stay nil (it cannot be bound to the coordinator's internal fleet
+	// from outside); NewCoordinator rejects it.
+	Scenario string
 	// Shards is how many shards to plan (0 = 4; more shards than workers
 	// keeps the fleet busy when shard runtimes are uneven).
 	Shards int
@@ -142,6 +149,16 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Opts.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Opts.Scenario != nil {
+		return nil, fmt.Errorf("fabric: set Config.Scenario (the spec string), not Opts.Scenario — workers bind the scenario to their own fleets")
+	}
+	if cfg.Scenario != "" {
+		// Fail at construction, not on every worker: the spec must parse and
+		// validate. The binding itself happens worker-side.
+		if _, err := scenario.Build(cfg.Scenario); err != nil {
+			return nil, fmt.Errorf("fabric: %w", err)
+		}
 	}
 	if cfg.ReplicaID < 0 || cfg.ReplicaID >= cfg.Replicas {
 		return nil, fmt.Errorf("fabric: replica ID %d outside the %d-replica set", cfg.ReplicaID, cfg.Replicas)

@@ -212,10 +212,12 @@ func (f *ledgerFSM) join(now time.Time) JoinReply {
 	f.nextID++
 	id := f.nextID
 	f.workers[id] = &workerState{id: id, lastBeat: now}
+	spec := specOf(f.cfg.Opts)
+	spec.Scenario = f.cfg.Scenario
 	return JoinReply{
 		WorkerID:    id,
 		Fleet:       f.cfg.Fleet,
-		Spec:        specOf(f.cfg.Opts),
+		Spec:        spec,
 		Shards:      len(f.plan),
 		HeartbeatMS: f.cfg.HeartbeatEvery.Milliseconds(),
 	}

@@ -37,6 +37,12 @@ type RunSpec struct {
 	Seed             int64
 	Chaos            *chaos.Plan    `json:",omitempty"`
 	Stream           *sketch.Config `json:",omitempty"`
+	// Scenario is the scenario spec string ("" = the fleet's native
+	// traffic). A live scenario.Workload cannot cross the wire — it is bound
+	// to a fleet instance — so workers rebuild from the spec and bind the
+	// result to their own regenerated fleet, which the scenario determinism
+	// contract makes bit-identical to any other binding of the same recipe.
+	Scenario string `json:",omitempty"`
 }
 
 // specOf projects the serializable subset of opts. Callback and destination

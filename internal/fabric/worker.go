@@ -10,6 +10,7 @@ import (
 
 	"ebslab/internal/ebs"
 	"ebslab/internal/netblock"
+	"ebslab/internal/scenario"
 	"ebslab/internal/workload"
 )
 
@@ -179,6 +180,17 @@ func RunWorker(ctx context.Context, wc WorkerConfig) error {
 	}
 	sim := ebs.New(fleet)
 	opts := join.Spec.options()
+	if join.Spec.Scenario != "" {
+		built, err := scenario.Build(join.Spec.Scenario)
+		if err != nil {
+			return fmt.Errorf("fabric: worker scenario: %w", err)
+		}
+		wl, err := built.Bind(fleet)
+		if err != nil {
+			return fmt.Errorf("fabric: worker scenario: %w", err)
+		}
+		opts.Scenario = wl
+	}
 	me := mustJSON(workerMsg{WorkerID: join.WorkerID})
 
 	// Heartbeats ride their own goroutine so a long shard simulation cannot

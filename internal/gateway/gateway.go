@@ -15,6 +15,7 @@ import (
 	"ebslab/internal/fabric"
 	"ebslab/internal/invariant"
 	"ebslab/internal/netblock"
+	"ebslab/internal/scenario"
 	"ebslab/internal/sketch"
 	"ebslab/internal/throttle"
 	"ebslab/internal/trace"
@@ -436,6 +437,17 @@ func (gw *Gateway) runLocal(j *job) error {
 	opts := j.spec.RunOptions()
 	opts.Stream = stream
 	opts.Snapshots = sink
+	if j.spec.Scenario != "" {
+		built, err := scenario.Build(j.spec.Scenario)
+		if err != nil {
+			return err
+		}
+		wl, err := built.Bind(fleet)
+		if err != nil {
+			return err
+		}
+		opts.Scenario = wl
+	}
 	opts.Progress = func(done, total int) {
 		j.vdsTotal.Store(int64(total))
 		j.vdsDone.Store(int64(done))
@@ -511,7 +523,7 @@ func (gw *Gateway) runFabric(j *job) error {
 		// worker schedules, so the no-chaos oracle stays valid.
 		opts.Chaos = &chaos.Plan{Recoverable: true, LeaderKills: j.spec.LeaderKills}
 	}
-	rs, err := fabric.NewReplicaSet(fabric.Config{Fleet: j.spec.FleetConfig(), Opts: opts, Shards: shards}, fc.Replicas)
+	rs, err := fabric.NewReplicaSet(fabric.Config{Fleet: j.spec.FleetConfig(), Opts: opts, Scenario: j.spec.Scenario, Shards: shards}, fc.Replicas)
 	if err != nil {
 		return err
 	}

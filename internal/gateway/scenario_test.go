@@ -1,0 +1,141 @@
+package gateway
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSubmitCodecScenarioRoundTrip(t *testing.T) {
+	reqs := []SubmitRequest{
+		{Tenant: "alice", Spec: StudySpec{Seed: 42, Scenario: "bufferbloat"}},
+		{Tenant: "bob", Spec: StudySpec{
+			Seed: 7, DurationSec: 16, Nodes: 4, Users: 16,
+			EventSampleEvery: 8, TraceSampleEvery: 1,
+			Scenario: "elastic,hi=2,step=4",
+		}},
+		{Tenant: "carol", Spec: StudySpec{
+			Seed: 9, Control: "predictive", ControlEpochSec: 2,
+			Scenario: "batchburst,wave=20,width=4",
+		}},
+	}
+	for _, want := range reqs {
+		enc := EncodeSubmit(want)
+		got, err := DecodeSubmit(enc)
+		if err != nil {
+			t.Fatalf("DecodeSubmit(%s): %v", want.Spec.Scenario, err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+		if !bytes.Equal(EncodeSubmit(got), enc) {
+			t.Fatalf("re-encode of %s is not canonical", want.Spec.Scenario)
+		}
+	}
+}
+
+// TestSubmitCodecPreScenarioCompat pins the wire compatibility contract: a
+// frame without the optional scenario section — what every encoder predating
+// the scenario library emits, with or without a control section — still
+// decodes, to a spec with no scenario.
+func TestSubmitCodecPreScenarioCompat(t *testing.T) {
+	for name, spec := range map[string]StudySpec{
+		"plain":      {Seed: 3, DurationSec: 8},
+		"controlled": {Seed: 3, DurationSec: 8, Control: "noop", ControlEpochSec: 1},
+	} {
+		old := EncodeSubmit(SubmitRequest{Tenant: "alice", Spec: spec})
+		got, err := DecodeSubmit(old)
+		if err != nil {
+			t.Fatalf("%s pre-scenario frame rejected: %v", name, err)
+		}
+		if got.Spec.Scenario != "" {
+			t.Fatalf("%s pre-scenario frame decoded a scenario section: %+v", name, got.Spec)
+		}
+	}
+	// A scenario without a control policy rides behind the zero
+	// control-length marker (1 byte) plus the scenario section itself.
+	old := EncodeSubmit(SubmitRequest{Tenant: "alice", Spec: StudySpec{Seed: 3}})
+	withSc := EncodeSubmit(SubmitRequest{Tenant: "alice", Spec: StudySpec{Seed: 3, Scenario: "bufferbloat"}})
+	if want := len(old) + 1 + 1 + len("bufferbloat"); len(withSc) != want {
+		t.Fatalf("scenario suffix is %d bytes over the base frame, want %d", len(withSc)-len(old), want-len(old))
+	}
+}
+
+func TestSubmitCodecRejectsMalformedScenario(t *testing.T) {
+	valid := EncodeSubmit(SubmitRequest{Tenant: "alice", Spec: StudySpec{Seed: 1, Scenario: "elastic"}})
+	sec := 1 + 1 + len("elastic") // zero control marker + scenario length + body
+	base := valid[:len(valid)-sec]
+	oversized := append(append([]byte(nil), base...), 0, maxScenarioLen+1)
+	oversized = append(oversized, strings.Repeat("x", maxScenarioLen+1)...)
+	unprintable := append([]byte(nil), valid...)
+	unprintable[len(unprintable)-1] = ' ' // last scenario byte
+	cases := map[string][]byte{
+		"bare zero control marker": append(append([]byte(nil), base...), 0),
+		"zero-length scenario":     append(append([]byte(nil), base...), 0, 0),
+		"oversized scenario":       oversized,
+		"truncated scenario body":  valid[:len(valid)-1],
+		"trailing byte":            append(append([]byte(nil), valid...), 0),
+		"unprintable scenario":     unprintable,
+	}
+	for name, frame := range cases {
+		if _, err := DecodeSubmit(frame); !errors.Is(err, ErrWire) {
+			t.Errorf("%s: got %v, want ErrWire", name, err)
+		}
+	}
+}
+
+func TestScenarioSpecValidation(t *testing.T) {
+	base := StudySpec{Seed: 1, DurationSec: 8}
+	cases := map[string]StudySpec{
+		"unknown scenario": func() StudySpec { s := base; s.Scenario = "quakestorm"; return s }(),
+		"bad param":        func() StudySpec { s := base; s.Scenario = "elastic,bogus=1"; return s }(),
+		"replay not servable": func() StudySpec {
+			s := base
+			s.Scenario = "replay,path=/etc/passwd"
+			return s
+		}(),
+		"oversized scenario": func() StudySpec {
+			s := base
+			s.Scenario = "elastic,step=" + strings.Repeat("9", maxScenarioLen)
+			return s
+		}(),
+	}
+	for name, spec := range cases {
+		if err := spec.withDefaults().Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	ok := base
+	ok.Scenario = "bufferbloat,duty=0.5"
+	if err := ok.withDefaults().Validate(); err != nil {
+		t.Errorf("valid scenario spec rejected: %v", err)
+	}
+	okCtl := ok
+	okCtl.Control = "reactive"
+	if err := okCtl.withDefaults().Validate(); err != nil {
+		t.Errorf("scenario + control spec rejected: %v", err)
+	}
+}
+
+func TestScenarioSpecKey(t *testing.T) {
+	plain := StudySpec{Seed: 9}
+	withSc := StudySpec{Seed: 9, Scenario: "bufferbloat"}
+	if plain.key() == withSc.key() {
+		t.Fatal("scenario and scenario-less specs must content-address differently")
+	}
+	other := StudySpec{Seed: 9, Scenario: "elastic"}
+	if withSc.key() == other.key() {
+		t.Fatal("different scenarios must content-address differently")
+	}
+	ctl := StudySpec{Seed: 9, Control: "reactive", Scenario: "bufferbloat"}
+	if ctl.key() == withSc.key() {
+		t.Fatal("control + scenario must content-address differently from scenario alone")
+	}
+	// The scenario section is append-only: every pre-existing content
+	// address is stable.
+	spelled := StudySpec{Seed: 9, DurationSec: 8, Nodes: 4, Users: 16, EventSampleEvery: 8, TraceSampleEvery: 1}
+	if plain.key() != spelled.key() {
+		t.Fatal("scenario-less content addresses changed")
+	}
+}

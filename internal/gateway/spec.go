@@ -18,6 +18,7 @@ import (
 
 	"ebslab/internal/control"
 	"ebslab/internal/ebs"
+	"ebslab/internal/scenario"
 	"ebslab/internal/workload"
 )
 
@@ -61,20 +62,29 @@ type StudySpec struct {
 	// the study window, at least 1s — eight control decisions per study).
 	// Must be zero when Control is empty.
 	ControlEpochSec int
+	// Scenario, when non-empty, reshapes the study fleet's traffic with a
+	// scenario-library spec string ("bufferbloat", "elastic,step=4", ...).
+	// Replay scenarios are not servable — they read server-local trace
+	// files, which an untrusted submission must not be able to do; run them
+	// through cmd/ebssim instead. Composes with Control (controlled studies
+	// stay in-process) and with fabric execution (workers rebuild the
+	// scenario from the spec string).
+	Scenario string
 }
 
 // Spec bounds: the gateway decodes specs from untrusted connections, so every
 // dimension is capped to what the serving host can actually execute.
 const (
-	maxTenantLen  = 64
-	maxDuration   = 3600
-	maxNodes      = 1024
-	maxUsers      = 4096
-	maxSpecVDs    = 1 << 20
-	maxSampling   = 1 << 20
-	maxSpecShards = 256
-	maxKills      = 8
-	maxControlLen = 32
+	maxTenantLen   = 64
+	maxDuration    = 3600
+	maxNodes       = 1024
+	maxUsers       = 4096
+	maxSpecVDs     = 1 << 20
+	maxSampling    = 1 << 20
+	maxSpecShards  = 256
+	maxKills       = 8
+	maxControlLen  = 32
+	maxScenarioLen = 128
 )
 
 // withDefaults fills zero-valued dimensions with the gateway's laptop-scale
@@ -123,6 +133,18 @@ func (s StudySpec) Validate() error {
 	} {
 		if c.v < c.min || c.v > c.mx {
 			return fmt.Errorf("gateway: spec %s is %d, want [%d, %d]", c.name, c.v, c.min, c.mx)
+		}
+	}
+	if s.Scenario != "" {
+		if len(s.Scenario) > maxScenarioLen {
+			return fmt.Errorf("gateway: spec Scenario is %d bytes, want <= %d", len(s.Scenario), maxScenarioLen)
+		}
+		built, err := scenario.Build(s.Scenario)
+		if err != nil {
+			return err
+		}
+		if built.Name() == "replay" {
+			return fmt.Errorf("gateway: replay scenarios read server-local trace files and are not servable; run them through cmd/ebssim")
 		}
 	}
 	if s.Control == "" {
@@ -201,6 +223,13 @@ func (s StudySpec) key() string {
 		b = append(b, uint8(len(s.Control)))
 		b = append(b, s.Control...)
 		b = binary.LittleEndian.AppendUint32(b, uint32(s.ControlEpochSec))
+	}
+	// The scenario section is likewise append-only, tagged with 'S' (0x53):
+	// a control suffix always starts with its length byte <= maxControlLen,
+	// so the tag cannot collide with any pre-scenario encoding.
+	if s.Scenario != "" {
+		b = append(b, 'S', uint8(len(s.Scenario)))
+		b = append(b, s.Scenario...)
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])

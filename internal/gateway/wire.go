@@ -57,15 +57,19 @@ var (
 //	      | u32 eventSample | u32 traceSample | u32 shards | u32 kills
 //	      | u8 check
 //	      [ u8 controlLen | control | u32 controlEpochSec ]
+//	      [ u8 scenarioLen | scenario ]
 //
 // Integers are little-endian, matching the netblock frame the payload rides
 // in. The binary layout (rather than JSON) is what makes the decoder an
 // honest fuzz target: every byte means something. The control section is
 // appended only when the spec names a mitigation policy, so uncontrolled
 // submissions frame byte-identically to every gateway that predates the
-// control plane.
+// control plane; the scenario section likewise appends only when a scenario
+// is set. A scenario without a control policy emits a zero control-length
+// marker byte first — pre-scenario decoders reject a zero length, so the
+// frame is unambiguously new-format, never misparsed.
 func EncodeSubmit(r SubmitRequest) []byte {
-	b := make([]byte, 0, 5+len(r.Tenant)+41+1+len(r.Spec.Control)+4)
+	b := make([]byte, 0, 5+len(r.Tenant)+41+1+len(r.Spec.Control)+4+2+len(r.Spec.Scenario))
 	b = append(b, submitMagic...)
 	b = append(b, uint8(len(r.Tenant)))
 	b = append(b, r.Tenant...)
@@ -86,6 +90,13 @@ func EncodeSubmit(r SubmitRequest) []byte {
 		b = append(b, uint8(len(r.Spec.Control)))
 		b = append(b, r.Spec.Control...)
 		b = binary.LittleEndian.AppendUint32(b, uint32(r.Spec.ControlEpochSec))
+	}
+	if r.Spec.Scenario != "" {
+		if r.Spec.Control == "" {
+			b = append(b, 0) // explicit empty control section
+		}
+		b = append(b, uint8(len(r.Spec.Scenario)))
+		b = append(b, r.Spec.Scenario...)
 	}
 	return b
 }
@@ -139,16 +150,37 @@ func DecodeSubmit(b []byte) (SubmitRequest, error) {
 	}
 	cl := int(b[0])
 	b = b[1:]
-	if cl == 0 || cl > maxControlLen || len(b) != cl+4 {
-		return r, fmt.Errorf("%w: control section length %d with %d bytes left", ErrWire, cl, len(b))
+	if cl > 0 {
+		if cl > maxControlLen || len(b) < cl+4 {
+			return r, fmt.Errorf("%w: control section length %d with %d bytes left", ErrWire, cl, len(b))
+		}
+		r.Spec.Control = string(b[:cl])
+		for _, c := range r.Spec.Control {
+			if c < 0x21 || c > 0x7e {
+				return r, fmt.Errorf("%w: control policy name contains %q", ErrWire, c)
+			}
+		}
+		r.Spec.ControlEpochSec = int(int32(binary.LittleEndian.Uint32(b[cl:])))
+		b = b[cl+4:]
+		if len(b) == 0 {
+			return r, nil // pre-scenario frame: no scenario section
+		}
+	} else if len(b) == 0 {
+		// A zero control length is only ever the marker in front of a
+		// scenario section; bare it means a truncated frame.
+		return r, fmt.Errorf("%w: empty control section with no scenario section", ErrWire)
 	}
-	r.Spec.Control = string(b[:cl])
-	for _, c := range r.Spec.Control {
+	sl := int(b[0])
+	b = b[1:]
+	if sl == 0 || sl > maxScenarioLen || len(b) != sl {
+		return r, fmt.Errorf("%w: scenario section length %d with %d bytes left", ErrWire, sl, len(b))
+	}
+	r.Spec.Scenario = string(b)
+	for _, c := range r.Spec.Scenario {
 		if c < 0x21 || c > 0x7e {
-			return r, fmt.Errorf("%w: control policy name contains %q", ErrWire, c)
+			return r, fmt.Errorf("%w: scenario spec contains %q", ErrWire, c)
 		}
 	}
-	r.Spec.ControlEpochSec = int(int32(binary.LittleEndian.Uint32(b[cl:])))
 	return r, nil
 }
 

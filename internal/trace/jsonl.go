@@ -77,6 +77,9 @@ func ReadTraceJSONL(r io.Reader) ([]Record, error) {
 		default:
 			return nil, fmt.Errorf("trace: jsonl line %d: bad op %q", line, jr.Op)
 		}
+		if err := checkRecord(&rec); err != nil {
+			return nil, fmt.Errorf("trace: jsonl line %d: %w", line, err)
+		}
 		out = append(out, rec)
 	}
 }

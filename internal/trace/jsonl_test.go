@@ -43,6 +43,18 @@ func TestJSONLRejectsBadInput(t *testing.T) {
 	if _, err := ReadTraceJSONL(strings.NewReader(`{`)); err == nil {
 		t.Fatal("truncated JSON accepted")
 	}
+	for name, in := range map[string]string{
+		"negative size":   `{"op":"R","size":-4096,"time_us":1}`,
+		"zero size":       `{"op":"R","time_us":1}`,
+		"negative offset": `{"op":"R","size":4096,"offset":-1}`,
+		"negative time":   `{"op":"R","size":4096,"time_us":-1}`,
+		"nan latency":     `{"op":"R","size":4096,"latency_us":[1,"NaN",1,1,1]}`,
+		"neg latency":     `{"op":"W","size":4096,"latency_us":[1,-2,1,1,1]}`,
+	} {
+		if _, err := ReadTraceJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadTraceJSONL accepted malformed input", name)
+		}
+	}
 	out, err := ReadTraceJSONL(strings.NewReader(""))
 	if err != nil || len(out) != 0 {
 		t.Fatalf("empty input: %v, %d records", err, len(out))

@@ -101,6 +101,15 @@ func TestTraceCSVRejectsBadInput(t *testing.T) {
 		"bad op":      strings.Join(traceHeader, ",") + "\n1,2,X,4,5,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n",
 		"bad number":  strings.Join(traceHeader, ",") + "\nx,2,R,4,5,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n",
 		"bad latency": strings.Join(traceHeader, ",") + "\n1,2,R,4,5,0,0,0,0,0,0,0,0,0,zzz,0,0,0,0\n",
+		// Hardened domain checks: parseable values no run could produce must
+		// fail with a positional error, not decode into poison records.
+		"nan latency":      strings.Join(traceHeader, ",") + "\n1,2,R,4,5,0,0,0,0,0,0,0,0,0,NaN,0,0,0,0\n",
+		"inf latency":      strings.Join(traceHeader, ",") + "\n1,2,R,4,5,0,0,0,0,0,0,0,0,0,0,+Inf,0,0,0\n",
+		"negative latency": strings.Join(traceHeader, ",") + "\n1,2,R,4,5,0,0,0,0,0,0,0,0,0,0,0,-1,0,0\n",
+		"negative size":    strings.Join(traceHeader, ",") + "\n1,2,R,-4,5,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n",
+		"zero size":        strings.Join(traceHeader, ",") + "\n1,2,R,0,5,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n",
+		"negative offset":  strings.Join(traceHeader, ",") + "\n1,2,R,4,-5,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n",
+		"negative time":    strings.Join(traceHeader, ",") + "\n1,-2,R,4,5,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n",
 	}
 	for name, in := range cases {
 		if _, err := ReadTraceCSV(strings.NewReader(in)); err == nil {
@@ -155,8 +164,19 @@ func TestMetricCSVRejectsBadInput(t *testing.T) {
 }
 
 func TestTraceCSVRoundTripProperty(t *testing.T) {
-	// Property: any record with valid op survives a round trip unchanged.
+	// Property: any record in the decoder's accepted domain (non-negative
+	// time and offset, positive size) survives a round trip unchanged.
 	f := func(id uint64, timeUS int64, size int32, offset int64, write bool) bool {
+		if timeUS < 0 {
+			timeUS = ^timeUS
+		}
+		if offset < 0 {
+			offset = ^offset
+		}
+		size &= 1<<31 - 1
+		if size == 0 {
+			size = 4096
+		}
 		rec := Record{TraceID: id, TimeUS: timeUS, Size: size, Offset: offset}
 		if write {
 			rec.Op = OpWrite
